@@ -1,0 +1,21 @@
+"""Figure 10: bridge-finding total time on the real-world graph stand-ins.
+
+The paper's finding: GPU TV beats GPU CK on every graph except the (small)
+Wikipedia graph, with the largest margins — up to 4.7× — on the road networks,
+and 4–12× speedups over the single-core DFS baseline.
+"""
+
+from repro.experiments import format_rows, format_series
+from repro.experiments.bridges_experiments import realworld_comparison, speedup_summary
+
+from bench_util import publish, run_once
+
+
+def test_fig10_realworld_comparison(benchmark):
+    rows = run_once(benchmark, realworld_comparison)
+    table = format_series(rows, x="dataset", y="total_ms", series="algorithm",
+                          title="Figure 10: total bridge-finding time [ms] on real-world stand-ins")
+    speedups = format_rows(
+        speedup_summary(rows) + speedup_summary(rows, baseline_label="GPU CK"),
+        title="Speedups of GPU TV (over single-core DFS, and over GPU CK)")
+    publish(benchmark, "fig10_realworld_comparison", table + "\n\n" + speedups)

@@ -1,0 +1,20 @@
+"""Figure 11: per-phase running-time breakdown of the GPU bridge-finding algorithms.
+
+The textual equivalent of the paper's stacked bars: for every dataset, the GPU
+CK, GPU TV and GPU hybrid algorithms broken into their phases (BFS / marking
+for CK; spanning tree / Euler tour / detect for TV; spanning tree / Euler tour
+/ levels+parents / marking for the hybrid).  The qualitative claims to check:
+BFS dominates CK on large-diameter graphs, and the hybrid's marking phase
+keeps it from beating TV once per-edge work dominates.
+"""
+
+from repro.device import format_breakdown_table
+from repro.experiments.bridges_experiments import breakdown
+
+from bench_util import publish, run_once
+
+
+def test_fig11_phase_breakdown(benchmark):
+    breakdowns = run_once(benchmark, breakdown)
+    publish(benchmark, "fig11_phase_breakdown",
+            format_breakdown_table(breakdowns, time_unit="ms"))

@@ -1,0 +1,40 @@
+"""Figure 3: general LCA comparison on shallow and deep trees.
+
+Regenerates the four panels of the paper's Figure 3: preprocessing throughput
+(nodes/s) and query throughput (queries/s) of the four algorithms, on shallow
+(γ = ∞) and deep (γ ≈ n/32 average depth) random trees, with one query per
+node.
+"""
+
+from repro.experiments import format_series
+from repro.experiments.lca_experiments import general_comparison
+
+from bench_util import LCA_SIZES, publish, run_once
+
+
+def test_fig3a_preprocessing_shallow(benchmark):
+    rows = run_once(benchmark, general_comparison, sizes=LCA_SIZES, tree_kind="shallow")
+    publish(benchmark, "fig3a_preprocessing_shallow",
+            format_series(rows, x="n", y="nodes_per_s", series="algorithm",
+                          title="Figure 3a: nodes preprocessed per second (shallow trees)"))
+
+
+def test_fig3b_preprocessing_deep(benchmark):
+    rows = run_once(benchmark, general_comparison, sizes=LCA_SIZES, tree_kind="deep")
+    publish(benchmark, "fig3b_preprocessing_deep",
+            format_series(rows, x="n", y="nodes_per_s", series="algorithm",
+                          title="Figure 3b: nodes preprocessed per second (deep trees)"))
+
+
+def test_fig3c_queries_shallow(benchmark):
+    rows = run_once(benchmark, general_comparison, sizes=LCA_SIZES, tree_kind="shallow")
+    publish(benchmark, "fig3c_queries_shallow",
+            format_series(rows, x="n", y="queries_per_s", series="algorithm",
+                          title="Figure 3c: queries answered per second (shallow trees)"))
+
+
+def test_fig3d_queries_deep(benchmark):
+    rows = run_once(benchmark, general_comparison, sizes=LCA_SIZES, tree_kind="deep")
+    publish(benchmark, "fig3d_queries_deep",
+            format_series(rows, x="n", y="queries_per_s", series="algorithm",
+                          title="Figure 3d: queries answered per second (deep trees)"))

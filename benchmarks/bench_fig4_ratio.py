@@ -1,0 +1,20 @@
+"""Figure 4: combined preprocessing + query time vs queries-to-nodes ratio.
+
+The paper fixes an 8M-node shallow tree and sweeps the ratio from 0.125 to 16,
+showing the naïve GPU algorithm winning at low ratios and the GPU Inlabel
+algorithm overtaking it at around 4 queries per node.
+"""
+
+from repro.experiments import format_series
+from repro.experiments.lca_experiments import queries_to_nodes_ratio
+
+from bench_util import BENCH_SCALE, publish, run_once
+
+
+def test_fig4_queries_to_nodes_ratio(benchmark):
+    n = int(131_072 * BENCH_SCALE)
+    rows = run_once(benchmark, queries_to_nodes_ratio, n=n)
+    publish(benchmark, "fig4_queries_to_nodes_ratio",
+            format_series(rows, x="ratio", y="total_ms", series="algorithm",
+                          title=f"Figure 4: total time [ms] vs queries-to-nodes ratio "
+                                f"({n} nodes, shallow tree)"))

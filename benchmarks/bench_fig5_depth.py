@@ -1,0 +1,23 @@
+"""Figure 5: total time to answer n LCA queries vs average tree depth.
+
+The paper fixes nodes = queries = 8M and sweeps the grasp parameter so the
+average node depth ranges from ~16 to 4·10⁶; the GPU Inlabel time stays flat
+while the naïve algorithm degrades rapidly past depth ≈ 91.
+"""
+
+import numpy as np
+
+from repro.experiments import format_series
+from repro.experiments.lca_experiments import depth_sweep
+
+from bench_util import BENCH_SCALE, publish, run_once
+
+
+def test_fig5_depth_sweep(benchmark):
+    n = int(65_536 * BENCH_SCALE)
+    depths = [float(np.log(n)), 32.0, 91.0, 256.0, 1024.0, 4096.0, n / 8.0, n / 2.0]
+    rows = run_once(benchmark, depth_sweep, n=n, target_depths=depths)
+    publish(benchmark, "fig5_depth_sweep",
+            format_series(rows, x="target_avg_depth", y="total_ms", series="algorithm",
+                          title=f"Figure 5: total time [ms] vs average node depth "
+                                f"({n} nodes, {n} queries)"))

@@ -1,0 +1,24 @@
+"""Figure 6: Inlabel query throughput as a function of the batch size.
+
+The paper preprocesses an 8M-node shallow tree and replays 10M random queries
+in batches of 1 … 10⁷; the GPU overtakes the single-core CPU at ~100 queries
+per batch and saturates around 10⁴, while the multi-core CPU saturates earlier
+at a lower throughput.
+"""
+
+from repro.experiments import format_series
+from repro.experiments.lca_experiments import batch_size_sweep
+
+from bench_util import BENCH_SCALE, publish, run_once
+
+
+def test_fig6_batch_size_sweep(benchmark):
+    n = int(131_072 * BENCH_SCALE)
+    q = int(163_840 * BENCH_SCALE)
+    batches = (1, 10, 100, 1_000, 10_000, 100_000, q)
+    rows = run_once(benchmark, batch_size_sweep, n=n, q=q, batch_sizes=batches,
+                    max_batches_per_size=256)
+    publish(benchmark, "fig6_batch_size_sweep",
+            format_series(rows, x="batch_size", y="queries_per_s", series="algorithm",
+                          title=f"Figure 6: queries answered per second vs batch size "
+                                f"({n} nodes, {q} queries)"))

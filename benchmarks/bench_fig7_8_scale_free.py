@@ -1,0 +1,26 @@
+"""Figures 7–8: the general LCA comparison on scale-free (Barabási–Albert) trees.
+
+The paper's point: the results are essentially identical to the shallow-tree
+panels of Figure 3 — performance depends on the tree size, not its shape —
+except that the naïve algorithm answers queries slightly faster because BA
+trees are even shallower.
+"""
+
+from repro.experiments import format_series
+from repro.experiments.lca_experiments import scale_free_comparison
+
+from bench_util import LCA_SIZES, publish, run_once
+
+
+def test_fig7_preprocessing_scale_free(benchmark):
+    rows = run_once(benchmark, scale_free_comparison, sizes=LCA_SIZES)
+    publish(benchmark, "fig7_preprocessing_scale_free",
+            format_series(rows, x="n", y="nodes_per_s", series="algorithm",
+                          title="Figure 7: nodes preprocessed per second (scale-free trees)"))
+
+
+def test_fig8_queries_scale_free(benchmark):
+    rows = run_once(benchmark, scale_free_comparison, sizes=LCA_SIZES)
+    publish(benchmark, "fig8_queries_scale_free",
+            format_series(rows, x="n", y="queries_per_s", series="algorithm",
+                          title="Figure 8: queries answered per second (scale-free trees)"))

@@ -1,0 +1,20 @@
+"""Figure 9: bridge-finding total time on the Kronecker graph family.
+
+The paper's finding: GPU TV is the fastest algorithm on all Kronecker graphs
+except the smallest one (where GPU CK wins), with 4–12× speedups over the
+single-core DFS baseline.
+"""
+
+from repro.experiments import format_series, format_rows
+from repro.experiments.bridges_experiments import kronecker_comparison, speedup_summary
+
+from bench_util import publish, run_once
+
+
+def test_fig9_kronecker_comparison(benchmark):
+    rows = run_once(benchmark, kronecker_comparison)
+    table = format_series(rows, x="dataset", y="total_ms", series="algorithm",
+                          title="Figure 9: total bridge-finding time [ms] on Kronecker graphs")
+    speedups = format_rows(speedup_summary(rows),
+                           title="GPU TV speedup over single-core CPU DFS")
+    publish(benchmark, "fig9_kronecker_comparison", table + "\n\n" + speedups)

@@ -1,0 +1,19 @@
+"""§3.1 preliminary experiment: sequential Inlabel vs RMQ-based LCA on one CPU core.
+
+The paper reports the RMQ-based algorithm preprocessing ~2× faster, the
+Inlabel algorithm answering queries ~3× faster, and the two drawing when the
+number of queries equals the number of nodes.
+"""
+
+from repro.experiments import format_rows
+from repro.experiments.lca_experiments import cpu_preliminary
+
+from bench_util import BENCH_SCALE, publish, run_once
+
+
+def test_preliminary_cpu_comparison(benchmark):
+    n = int(131_072 * BENCH_SCALE)
+    rows = run_once(benchmark, cpu_preliminary, n=n)
+    publish(benchmark, "prelim_cpu_inlabel_vs_rmq",
+            format_rows(rows, title=f"§3.1 preliminary: single-core Inlabel vs RMQ "
+                                    f"({n} nodes, {n} queries)"))

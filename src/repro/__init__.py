@@ -1,0 +1,84 @@
+"""repro — a Python reproduction of "Euler Meets GPU: Practical Graph Algorithms
+with Theoretical Guarantees" (Polak, Siwiec, Stobierski; IPDPS 2021).
+
+The package implements the Euler tour technique for bulk-parallel (GPU-style)
+execution together with its two applications studied in the paper — lowest
+common ancestors in trees and bridge finding in undirected graphs — plus every
+substrate those algorithms need (parallel primitives, connectivity, BFS,
+dataset generators) and an experiment harness that regenerates every table and
+figure of the paper's evaluation on a simulated device (see DESIGN.md).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import graphs, lca, device
+>>> parents = graphs.generators.random_attachment_tree(1000, seed=1)
+>>> ctx = device.ExecutionContext(device.GTX980)
+>>> algo = lca.InlabelLCA(parents, ctx=ctx)
+>>> int(algo.query(np.array([5]), np.array([7]))[0]) < 1000
+True
+"""
+
+from . import bridges, device, errors, euler, experiments, graphs, lca, primitives
+from .bridges import (
+    BridgeResult,
+    find_bridges_ck,
+    find_bridges_dfs,
+    find_bridges_hybrid,
+    find_bridges_tarjan_vishkin,
+)
+from .device import GTX980, XEON_X5650_MULTI, XEON_X5650_SINGLE, DeviceSpec, ExecutionContext
+from .errors import (
+    ConfigurationError,
+    DeviceError,
+    InvalidGraphError,
+    InvalidQueryError,
+    NotATreeError,
+    ReproError,
+)
+from .euler import EulerTour, TreeStats, build_euler_tour, compute_tree_stats
+from .graphs import CSRGraph, EdgeList
+from .lca import InlabelLCA, NaiveGPULCA, RMQLCA, SequentialInlabelLCA
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # subpackages
+    "device",
+    "primitives",
+    "graphs",
+    "euler",
+    "lca",
+    "bridges",
+    "experiments",
+    "errors",
+    # most-used classes and functions
+    "DeviceSpec",
+    "ExecutionContext",
+    "GTX980",
+    "XEON_X5650_SINGLE",
+    "XEON_X5650_MULTI",
+    "EdgeList",
+    "CSRGraph",
+    "EulerTour",
+    "TreeStats",
+    "build_euler_tour",
+    "compute_tree_stats",
+    "InlabelLCA",
+    "SequentialInlabelLCA",
+    "NaiveGPULCA",
+    "RMQLCA",
+    "BridgeResult",
+    "find_bridges_tarjan_vishkin",
+    "find_bridges_ck",
+    "find_bridges_hybrid",
+    "find_bridges_dfs",
+    # errors
+    "ReproError",
+    "InvalidGraphError",
+    "NotATreeError",
+    "InvalidQueryError",
+    "DeviceError",
+    "ConfigurationError",
+]

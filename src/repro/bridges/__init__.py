@@ -1,0 +1,32 @@
+"""Bridge-finding algorithms (paper §4).
+
+* :func:`find_bridges_tarjan_vishkin` — the Euler-tour-based GPU algorithm (TV).
+* :func:`find_bridges_ck` — the BFS-plus-marking heuristic (CK), GPU or
+  multi-core CPU depending on the execution context.
+* :func:`find_bridges_hybrid` — the paper's proposed hybrid (CC spanning tree
+  rooted with the Euler tour, then CK-style marking).
+* :func:`find_bridges_dfs` — the sequential Hopcroft–Tarjan baseline.
+* :func:`find_bridges_networkx` — test oracle.
+"""
+
+from .ck import find_bridges_ck
+from .dfs_cpu import find_bridges_dfs
+from .hybrid import find_bridges_hybrid
+from .marking import mark_cycle_edges
+from .reference import find_bridges_networkx
+from .result import BridgeResult
+from .spanning import TreeEdgeView, child_endpoints, split_tree_edges
+from .tarjan_vishkin import find_bridges_tarjan_vishkin
+
+__all__ = [
+    "BridgeResult",
+    "find_bridges_tarjan_vishkin",
+    "find_bridges_ck",
+    "find_bridges_hybrid",
+    "find_bridges_dfs",
+    "find_bridges_networkx",
+    "mark_cycle_edges",
+    "TreeEdgeView",
+    "split_tree_edges",
+    "child_endpoints",
+]

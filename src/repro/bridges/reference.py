@@ -1,0 +1,47 @@
+"""NetworkX-based bridge oracle, used only by the test suite.
+
+NetworkX is an optional test dependency; importing this module outside the
+test environment without networkx installed raises a clear error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.edgelist import EdgeList
+from .result import BridgeResult
+
+__all__ = ["find_bridges_networkx"]
+
+
+def find_bridges_networkx(edges: EdgeList) -> BridgeResult:
+    """Find bridges using :func:`networkx.bridges` (oracle, no cost accounting).
+
+    Parallel edges and self-loops are handled the same way the library's own
+    algorithms handle them: a duplicated edge is never a bridge, and the
+    verdict of a simple edge is unaffected by self-loops elsewhere.
+    """
+    try:
+        import networkx as nx
+    except ImportError as exc:  # pragma: no cover - test env always has networkx
+        raise ImportError("networkx is required for the bridge oracle") from exc
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(edges.num_nodes))
+    m = edges.num_edges
+    # Track multiplicity: an edge that appears more than once (in either
+    # direction) can never be a bridge.
+    multiplicity: dict = {}
+    for idx, (a, b) in enumerate(zip(edges.u.tolist(), edges.v.tolist())):
+        key = (min(a, b), max(a, b))
+        multiplicity.setdefault(key, []).append(idx)
+        if a != b:
+            graph.add_edge(a, b)
+
+    bridge_mask = np.zeros(m, dtype=bool)
+    for a, b in nx.bridges(graph):
+        key = (min(a, b), max(a, b))
+        indices = multiplicity.get(key, [])
+        if len(indices) == 1:
+            bridge_mask[indices[0]] = True
+    return BridgeResult(bridge_mask, algorithm="networkx oracle")

@@ -1,0 +1,107 @@
+"""Reporting helpers built on top of :class:`~repro.device.context.ExecutionContext`.
+
+These utilities turn kernel traces and phase breakdowns into the tabular
+summaries the experiment harness prints — most importantly the stacked
+per-phase breakdown of Figure 11 in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from .context import ExecutionContext, KernelRecord
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """A named algorithm run broken down into per-phase modeled times."""
+
+    label: str
+    phases: Tuple[Tuple[str, float], ...]
+
+    @property
+    def total(self) -> float:
+        """Total modeled time across all phases."""
+        return sum(t for _, t in self.phases)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Phase name → time mapping (insertion ordered)."""
+        return dict(self.phases)
+
+    @classmethod
+    def from_context(cls, label: str, ctx: ExecutionContext) -> "PhaseBreakdown":
+        """Capture the current phase breakdown of ``ctx`` under ``label``."""
+        return cls(label=label, phases=tuple(ctx.breakdown().items()))
+
+
+def summarize_kernels(records: Iterable[KernelRecord]) -> Dict[str, Dict[str, float]]:
+    """Aggregate a kernel trace by kernel name.
+
+    Returns a mapping ``kernel name -> {"launches", "ops", "bytes", "time_s"}``
+    useful for spotting which primitive dominates an algorithm.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for rec in records:
+        agg = out.setdefault(
+            rec.name, {"launches": 0.0, "ops": 0.0, "bytes": 0.0, "time_s": 0.0}
+        )
+        agg["launches"] += rec.launches
+        agg["ops"] += rec.ops
+        agg["bytes"] += rec.bytes_total
+        agg["time_s"] += rec.time_s
+    return out
+
+
+def format_breakdown_table(
+    breakdowns: Sequence[PhaseBreakdown],
+    *,
+    time_unit: str = "ms",
+) -> str:
+    """Render a list of per-phase breakdowns as an aligned text table.
+
+    One row per run (``label``), one column per phase encountered anywhere in
+    the input (in first-appearance order), plus a total column.  This mirrors
+    the stacked-bar layout of the paper's Figure 11 in textual form.
+    """
+    scale = {"s": 1.0, "ms": 1e3, "us": 1e6}.get(time_unit)
+    if scale is None:
+        raise ValueError(f"unsupported time unit {time_unit!r}")
+
+    phase_names: List[str] = []
+    for bd in breakdowns:
+        for name, _ in bd.phases:
+            if name not in phase_names:
+                phase_names.append(name)
+
+    header = ["run"] + [f"{p} [{time_unit}]" for p in phase_names] + [f"total [{time_unit}]"]
+    rows: List[List[str]] = [header]
+    for bd in breakdowns:
+        lookup = bd.as_dict()
+        row = [bd.label]
+        for p in phase_names:
+            value = lookup.get(p, 0.0) * scale
+            row.append(f"{value:.2f}" if p in lookup else "-")
+        row.append(f"{bd.total * scale:.2f}")
+        rows.append(row)
+
+    widths = [max(len(r[i]) for r in rows) for i in range(len(header))]
+    lines = []
+    for i, row in enumerate(rows):
+        line = "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def compare_totals(breakdowns: Sequence[PhaseBreakdown]) -> Dict[str, float]:
+    """Return ``label -> total modeled time`` for a collection of breakdowns."""
+    return {bd.label: bd.total for bd in breakdowns}
+
+
+def speedup(baseline: float, candidate: float) -> float:
+    """``baseline / candidate`` speedup, guarding against division by zero."""
+    if candidate <= 0:
+        raise ValueError("candidate time must be positive")
+    return baseline / candidate

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from :class:`ReproError`
+so that callers can distinguish library failures from programming errors in
+their own code with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class InvalidGraphError(ReproError):
+    """Raised when an input graph violates a documented precondition.
+
+    Typical causes: self-loops where they are not allowed, node identifiers
+    outside ``[0, n)``, an edge list that does not describe a tree when a tree
+    is required, or a disconnected graph passed to an algorithm that requires
+    connectivity.
+    """
+
+
+class NotATreeError(InvalidGraphError):
+    """Raised when an edge set expected to form a tree does not.
+
+    A tree on ``n`` nodes must have exactly ``n - 1`` undirected edges and be
+    connected (equivalently, acyclic).
+    """
+
+
+class InvalidQueryError(ReproError):
+    """Raised when an LCA (or similar) query refers to nonexistent nodes."""
+
+
+class DeviceError(ReproError):
+    """Raised for misuse of the simulated-device execution machinery."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when an experiment or dataset configuration is inconsistent."""

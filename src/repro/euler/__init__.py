@@ -1,0 +1,22 @@
+"""The Euler tour technique (paper §2): DCEL, tour construction, node statistics."""
+
+from .dcel import DCEL, build_dcel
+from .stats import TreeStats, compute_tree_stats, tree_statistics_from_parents
+from .tour import (
+    EulerTour,
+    build_euler_tour,
+    build_euler_tour_from_dcel,
+    build_euler_tour_from_parents,
+)
+
+__all__ = [
+    "DCEL",
+    "build_dcel",
+    "EulerTour",
+    "build_euler_tour",
+    "build_euler_tour_from_dcel",
+    "build_euler_tour_from_parents",
+    "TreeStats",
+    "compute_tree_stats",
+    "tree_statistics_from_parents",
+]

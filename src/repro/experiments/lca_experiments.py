@@ -1,0 +1,204 @@
+"""Experiment runners for every LCA figure in the paper (§3.3).
+
+Each function regenerates one figure's data as a list of flat dictionary rows
+(one per plotted point), with modeled times from the simulated devices.  The
+default instance sizes are scaled down ~32× from the paper (the throughput
+plots are per-node/per-query, and the paper itself observes they are flat in
+``n``); pass explicit ``sizes``/``n`` to run at other scales.
+
+| Function | Paper figure |
+|---|---|
+| :func:`general_comparison`     | Fig. 3a–3d (shallow / deep trees)          |
+| :func:`queries_to_nodes_ratio` | Fig. 4                                     |
+| :func:`depth_sweep`            | Fig. 5                                     |
+| :func:`batch_size_sweep`       | Fig. 6                                     |
+| :func:`scale_free_comparison`  | Fig. 7–8                                   |
+| :func:`cpu_preliminary`        | §3.1 preliminary single-core comparison    |
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..device import ExecutionContext
+from ..graphs.generators import (
+    INFINITE_GRASP,
+    barabasi_albert_tree,
+    grasp_for_target_depth,
+    grasp_tree,
+    random_attachment_tree,
+)
+from ..graphs.trees import generate_random_queries
+from ..lca import run_batched_queries
+from .runner import LCA_ALGORITHMS, LCA_PRELIMINARY_ALGORITHMS, run_lca
+
+#: Default tree sizes: the paper sweeps 1M–32M; the scaled default is 32K–1M.
+DEFAULT_SIZES = (32_768, 65_536, 131_072, 262_144, 524_288, 1_048_576)
+#: Grasp value whose average depth, relative to n, matches the paper's γ=1000
+#: at the 32× smaller default scale (depth ≈ n / 32).
+DEFAULT_DEEP_GRASP = 31
+
+
+def _make_tree(kind: str, n: int, seed: int, grasp: Optional[float]) -> np.ndarray:
+    if kind == "shallow":
+        return random_attachment_tree(n, seed=seed)
+    if kind == "deep":
+        return grasp_tree(n, DEFAULT_DEEP_GRASP if grasp is None else grasp, seed=seed)
+    if kind == "scale-free":
+        return barabasi_albert_tree(n, seed=seed)
+    raise ValueError(f"unknown tree kind {kind!r}")
+
+
+def general_comparison(sizes: Sequence[int] = DEFAULT_SIZES, *, tree_kind: str = "shallow",
+                       grasp: Optional[float] = None, queries_per_node: float = 1.0,
+                       seed: int = 0, algorithms: Optional[Sequence[str]] = None,
+                       check_agreement: bool = True) -> List[Dict[str, object]]:
+    """Figures 3a–3d (and 7–8 with ``tree_kind="scale-free"``).
+
+    For every tree size, run all four algorithms on the same tree and query
+    batch and report preprocessing and query throughput.
+    """
+    rows: List[Dict[str, object]] = []
+    for n in sizes:
+        parents = _make_tree(tree_kind, int(n), seed + n, grasp)
+        q = max(1, int(round(queries_per_node * n)))
+        xs, ys = generate_random_queries(int(n), q, seed=seed + n + 1)
+        for record in run_lca(parents, xs, ys, algorithms,
+                              check_agreement=check_agreement):
+            row = record.as_row()
+            row["tree_kind"] = tree_kind
+            rows.append(row)
+    return rows
+
+
+def scale_free_comparison(sizes: Sequence[int] = DEFAULT_SIZES, *, seed: int = 0,
+                          algorithms: Optional[Sequence[str]] = None,
+                          check_agreement: bool = True) -> List[Dict[str, object]]:
+    """Figures 7–8: the general comparison on Barabási–Albert trees."""
+    return general_comparison(sizes, tree_kind="scale-free", seed=seed,
+                              algorithms=algorithms, check_agreement=check_agreement)
+
+
+def queries_to_nodes_ratio(n: int = 262_144,
+                           ratios: Sequence[float] = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+                           *, seed: int = 0,
+                           algorithms: Sequence[str] = ("gpu-naive", "gpu-inlabel"),
+                           check_agreement: bool = True) -> List[Dict[str, object]]:
+    """Figure 4: total time vs queries-to-nodes ratio on a shallow tree.
+
+    The paper fixes 8M nodes and sweeps 1M–128M queries; the scaled default
+    fixes 256K nodes and keeps the same ratios, reporting the combined
+    preprocessing-plus-query time of the two GPU algorithms.
+    """
+    parents = random_attachment_tree(n, seed=seed)
+    rows: List[Dict[str, object]] = []
+    for ratio in ratios:
+        q = max(1, int(round(ratio * n)))
+        xs, ys = generate_random_queries(n, q, seed=seed + q)
+        for record in run_lca(parents, xs, ys, algorithms,
+                              check_agreement=check_agreement):
+            row = record.as_row()
+            row["ratio"] = ratio
+            rows.append(row)
+    return rows
+
+
+def depth_sweep(n: int = 65_536, q: Optional[int] = None,
+                target_depths: Optional[Sequence[float]] = None, *, seed: int = 0,
+                algorithms: Sequence[str] = ("gpu-naive", "gpu-inlabel"),
+                check_agreement: bool = True) -> List[Dict[str, object]]:
+    """Figure 5: total time vs average tree depth.
+
+    The paper fixes nodes = queries = 8M and sweeps the grasp parameter so the
+    average depth ranges from ~16 to ~4·10⁶; the scaled default fixes 64K and
+    sweeps the depth from ``ln n`` to ``n/2`` on the same logarithmic grid.
+    """
+    q = n if q is None else q
+    if target_depths is None:
+        target_depths = [
+            float(np.log(n)), 32.0, 128.0, 512.0, 2048.0, 8192.0, n / 8.0, n / 2.0,
+        ]
+    rows: List[Dict[str, object]] = []
+    for depth in target_depths:
+        gamma = grasp_for_target_depth(n, depth)
+        parents = (random_attachment_tree(n, seed=seed)
+                   if gamma == INFINITE_GRASP else grasp_tree(n, gamma, seed=seed))
+        xs, ys = generate_random_queries(n, q, seed=seed + int(depth) + 1)
+        for record in run_lca(parents, xs, ys, algorithms,
+                              check_agreement=check_agreement):
+            row = record.as_row()
+            row["target_avg_depth"] = round(float(depth), 1)
+            row["grasp"] = "inf" if gamma == INFINITE_GRASP else int(gamma)
+            rows.append(row)
+    return rows
+
+
+def batch_size_sweep(n: int = 262_144, q: int = 327_680,
+                     batch_sizes: Sequence[int] = (1, 10, 100, 1_000, 10_000, 100_000, 327_680),
+                     *, seed: int = 0,
+                     algorithms: Sequence[str] = ("cpu1-inlabel", "cpum-inlabel", "gpu-inlabel"),
+                     max_batches_per_size: int = 512) -> List[Dict[str, object]]:
+    """Figure 6: Inlabel query throughput vs batch size.
+
+    The paper preprocesses an 8M-node shallow tree once, then replays 10M
+    random queries in batches of 1 … 10⁷ on the single-core CPU, multi-core
+    CPU and GPU Inlabel implementations.  The scaled default uses 256K nodes
+    and 320K queries.  ``max_batches_per_size`` bounds how many batches are
+    actually simulated per point (remaining batches are extrapolated — they
+    are statistically identical).
+    """
+    parents = random_attachment_tree(n, seed=seed)
+    xs, ys = generate_random_queries(n, q, seed=seed + 1)
+    rows: List[Dict[str, object]] = []
+    for key in algorithms:
+        spec = LCA_ALGORITHMS[key]
+        pre_ctx = ExecutionContext(spec.device)
+        algo = spec.factory(parents, pre_ctx)
+        for batch in batch_sizes:
+            result = run_batched_queries(algo, xs, ys, int(batch), spec.device,
+                                         keep_answers=False,
+                                         max_batches=max_batches_per_size)
+            rows.append({
+                "algorithm": spec.label,
+                "n": n,
+                "q": q,
+                "batch_size": int(batch),
+                "query_time_ms": round(result.modeled_time_s * 1e3, 3),
+                "queries_per_s": float(f"{result.queries_per_second:.4g}"),
+            })
+    return rows
+
+
+def cpu_preliminary(n: int = 65_536, *, queries_per_node: float = 1.0,
+                    seed: int = 0) -> List[Dict[str, object]]:
+    """§3.1 preliminary experiment: sequential Inlabel vs RMQ-based LCA.
+
+    The paper reports that the RMQ-based algorithm preprocesses about 2×
+    faster while the Inlabel algorithm answers queries about 3× faster, so the
+    two draw when the number of queries equals the number of nodes.
+    """
+    parents = random_attachment_tree(n, seed=seed)
+    q = max(1, int(round(queries_per_node * n)))
+    xs, ys = generate_random_queries(n, q, seed=seed + 1)
+    rows: List[Dict[str, object]] = []
+    reference = None
+    for key, spec in LCA_PRELIMINARY_ALGORITHMS.items():
+        pre_ctx = ExecutionContext(spec.device)
+        algo = spec.factory(parents, pre_ctx)
+        query_ctx = ExecutionContext(spec.device)
+        answers = algo.query(xs, ys, ctx=query_ctx)
+        if reference is None:
+            reference = answers
+        elif not np.array_equal(reference, answers):
+            raise AssertionError("preliminary LCA algorithms disagree")
+        rows.append({
+            "algorithm": spec.label,
+            "n": n,
+            "q": q,
+            "preprocess_ms": round(pre_ctx.elapsed * 1e3, 3),
+            "query_ms": round(query_ctx.elapsed * 1e3, 3),
+            "total_ms": round((pre_ctx.elapsed + query_ctx.elapsed) * 1e3, 3),
+        })
+    return rows

@@ -1,0 +1,297 @@
+"""Algorithm registries and single-run drivers used by every experiment.
+
+The paper compares fixed casts of algorithms:
+
+* LCA (§3): single-core CPU Inlabel, multi-core CPU Inlabel, GPU naïve,
+  GPU Inlabel;
+* bridges (§4): single-core CPU DFS, multi-core CPU CK, GPU CK, GPU TV, and
+  (in the §4.3 discussion) the GPU hybrid.
+
+This module wires each cast member to its implementation and device spec, and
+provides ``run_*`` helpers that execute one (algorithm, instance) pair with a
+fresh execution context and return a uniform record with the modeled times —
+the rows every figure/table runner is built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..bridges import (
+    find_bridges_ck,
+    find_bridges_dfs,
+    find_bridges_hybrid,
+    find_bridges_tarjan_vishkin,
+)
+from ..device import (
+    GTX980,
+    XEON_X5650_MULTI,
+    XEON_X5650_SINGLE,
+    DeviceSpec,
+    ExecutionContext,
+)
+from ..errors import ConfigurationError
+from ..graphs.edgelist import EdgeList
+from ..lca import InlabelLCA, NaiveGPULCA, RMQLCA, SequentialInlabelLCA
+
+# ----------------------------------------------------------------------
+# LCA cast
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LCAAlgorithmSpec:
+    """One LCA cast member: how to build it and on which simulated device."""
+
+    key: str
+    label: str
+    device: DeviceSpec
+    factory: Callable[[np.ndarray, ExecutionContext], object]
+
+
+def _make_gpu_inlabel(parents, ctx):
+    return InlabelLCA(parents, ctx=ctx)
+
+
+def _make_multicore_inlabel(parents, ctx):
+    return InlabelLCA(parents, ctx=ctx)
+
+
+def _make_singlecore_inlabel(parents, ctx):
+    return SequentialInlabelLCA(parents, ctx=ctx)
+
+
+def _make_gpu_naive(parents, ctx):
+    return NaiveGPULCA(parents, ctx=ctx)
+
+
+def _make_cpu_rmq(parents, ctx):
+    return RMQLCA(parents, ctx=ctx, backend="segment-tree", sequential_cost=True)
+
+
+#: The four algorithms of the paper's main LCA experiments (Figures 3–8).
+LCA_ALGORITHMS: Dict[str, LCAAlgorithmSpec] = {
+    "cpu1-inlabel": LCAAlgorithmSpec(
+        "cpu1-inlabel", "Single-core CPU Inlabel", XEON_X5650_SINGLE, _make_singlecore_inlabel
+    ),
+    "cpum-inlabel": LCAAlgorithmSpec(
+        "cpum-inlabel", "Multi-core CPU Inlabel", XEON_X5650_MULTI, _make_multicore_inlabel
+    ),
+    "gpu-naive": LCAAlgorithmSpec(
+        "gpu-naive", "GPU Naive", GTX980, _make_gpu_naive
+    ),
+    "gpu-inlabel": LCAAlgorithmSpec(
+        "gpu-inlabel", "GPU Inlabel", GTX980, _make_gpu_inlabel
+    ),
+}
+
+#: The extra cast member of the §3.1 preliminary single-core experiment.
+LCA_PRELIMINARY_ALGORITHMS: Dict[str, LCAAlgorithmSpec] = {
+    "cpu1-inlabel": LCA_ALGORITHMS["cpu1-inlabel"],
+    "cpu1-rmq": LCAAlgorithmSpec(
+        "cpu1-rmq", "Single-core CPU RMQ", XEON_X5650_SINGLE, _make_cpu_rmq
+    ),
+}
+
+
+@dataclass
+class LCARunRecord:
+    """Modeled result of preprocessing a tree and answering a query batch."""
+
+    algorithm: str
+    label: str
+    n: int
+    q: int
+    preprocess_time_s: float
+    query_time_s: float
+    answers: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def total_time_s(self) -> float:
+        """Preprocessing plus query time."""
+        return self.preprocess_time_s + self.query_time_s
+
+    @property
+    def nodes_per_second(self) -> float:
+        """Preprocessing throughput (the y-axis of Figures 3a/3b/7)."""
+        return self.n / self.preprocess_time_s if self.preprocess_time_s > 0 else float("inf")
+
+    @property
+    def queries_per_second(self) -> float:
+        """Query throughput (the y-axis of Figures 3c/3d/6/8)."""
+        return self.q / self.query_time_s if self.query_time_s > 0 else float("inf")
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary row for report tables."""
+        return {
+            "algorithm": self.label,
+            "n": self.n,
+            "q": self.q,
+            "preprocess_ms": round(self.preprocess_time_s * 1e3, 3),
+            "query_ms": round(self.query_time_s * 1e3, 3),
+            "total_ms": round(self.total_time_s * 1e3, 3),
+            "nodes_per_s": float(f"{self.nodes_per_second:.4g}"),
+            "queries_per_s": float(f"{self.queries_per_second:.4g}"),
+        }
+
+
+def run_lca(parents: np.ndarray, xs: np.ndarray, ys: np.ndarray,
+            algorithms: Optional[Sequence[str]] = None,
+            *, keep_answers: bool = False,
+            check_agreement: bool = True) -> List[LCARunRecord]:
+    """Run a set of LCA algorithms on one tree and one query batch.
+
+    Each algorithm gets fresh preprocessing and query execution contexts on
+    its own device; when ``check_agreement`` is true the answers of all
+    algorithms are verified to be identical (a built-in sanity check that the
+    measured runs are actually solving the problem).
+    """
+    keys = list(LCA_ALGORITHMS) if algorithms is None else list(algorithms)
+    records: List[LCARunRecord] = []
+    reference: Optional[np.ndarray] = None
+    for key in keys:
+        if key not in LCA_ALGORITHMS:
+            raise ConfigurationError(f"unknown LCA algorithm {key!r}")
+        spec = LCA_ALGORITHMS[key]
+        pre_ctx = ExecutionContext(spec.device)
+        algo = spec.factory(parents, pre_ctx)
+        query_ctx = ExecutionContext(spec.device)
+        answers = algo.query(xs, ys, ctx=query_ctx)
+        if check_agreement:
+            if reference is None:
+                reference = answers
+            elif not np.array_equal(reference, answers):
+                raise AssertionError(
+                    f"LCA algorithms disagree: {spec.label} vs {records[0].label}"
+                )
+        records.append(
+            LCARunRecord(
+                algorithm=key,
+                label=spec.label,
+                n=int(np.asarray(parents).size),
+                q=int(np.asarray(xs).size),
+                preprocess_time_s=pre_ctx.elapsed,
+                query_time_s=query_ctx.elapsed,
+                answers=answers if keep_answers else None,
+            )
+        )
+    return records
+
+
+# ----------------------------------------------------------------------
+# Bridge cast
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BridgeAlgorithmSpec:
+    """One bridge-finding cast member."""
+
+    key: str
+    label: str
+    device: DeviceSpec
+    runner: Callable[[EdgeList, ExecutionContext], object]
+
+
+def _run_dfs(edges, ctx):
+    return find_bridges_dfs(edges, ctx=ctx)
+
+
+def _run_cpu_ck(edges, ctx):
+    return find_bridges_ck(edges, device="cpu", ctx=ctx)
+
+
+def _run_gpu_ck(edges, ctx):
+    return find_bridges_ck(edges, device="gpu", ctx=ctx)
+
+
+def _run_gpu_tv(edges, ctx):
+    return find_bridges_tarjan_vishkin(edges, ctx=ctx)
+
+
+def _run_gpu_hybrid(edges, ctx):
+    return find_bridges_hybrid(edges, ctx=ctx)
+
+
+#: The four algorithms of Figures 9–10, plus the hybrid of §4.3 / Figure 11.
+BRIDGE_ALGORITHMS: Dict[str, BridgeAlgorithmSpec] = {
+    "cpu1-dfs": BridgeAlgorithmSpec("cpu1-dfs", "Single-core CPU DFS",
+                                    XEON_X5650_SINGLE, _run_dfs),
+    "cpum-ck": BridgeAlgorithmSpec("cpum-ck", "Multi-core CPU CK",
+                                   XEON_X5650_MULTI, _run_cpu_ck),
+    "gpu-ck": BridgeAlgorithmSpec("gpu-ck", "GPU CK", GTX980, _run_gpu_ck),
+    "gpu-tv": BridgeAlgorithmSpec("gpu-tv", "GPU TV", GTX980, _run_gpu_tv),
+    "gpu-hybrid": BridgeAlgorithmSpec("gpu-hybrid", "GPU Hybrid", GTX980, _run_gpu_hybrid),
+}
+
+#: The cast shown in Figures 9 and 10 (no hybrid).
+FIGURE_BRIDGE_ALGORITHMS = ["cpu1-dfs", "cpum-ck", "gpu-ck", "gpu-tv"]
+#: The GPU cast of the Figure 11 breakdown.
+BREAKDOWN_BRIDGE_ALGORITHMS = ["gpu-ck", "gpu-tv", "gpu-hybrid"]
+
+
+@dataclass
+class BridgeRunRecord:
+    """Modeled result of one bridge-finding run."""
+
+    algorithm: str
+    label: str
+    dataset: str
+    n: int
+    m: int
+    num_bridges: int
+    total_time_s: float
+    phase_times: Dict[str, float]
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dictionary row for report tables."""
+        return {
+            "dataset": self.dataset,
+            "algorithm": self.label,
+            "n": self.n,
+            "m": self.m,
+            "bridges": self.num_bridges,
+            "total_ms": round(self.total_time_s * 1e3, 3),
+        }
+
+
+def run_bridges(edges: EdgeList, dataset: str = "graph",
+                algorithms: Optional[Sequence[str]] = None,
+                *, check_agreement: bool = True) -> List[BridgeRunRecord]:
+    """Run a set of bridge-finding algorithms on one connected graph.
+
+    As with :func:`run_lca`, every algorithm gets a fresh execution context on
+    its own device and all bridge masks are cross-checked for agreement.
+    """
+    keys = FIGURE_BRIDGE_ALGORITHMS if algorithms is None else list(algorithms)
+    records: List[BridgeRunRecord] = []
+    reference_mask: Optional[np.ndarray] = None
+    for key in keys:
+        if key not in BRIDGE_ALGORITHMS:
+            raise ConfigurationError(f"unknown bridge algorithm {key!r}")
+        spec = BRIDGE_ALGORITHMS[key]
+        ctx = ExecutionContext(spec.device)
+        result = spec.runner(edges, ctx)
+        if check_agreement:
+            if reference_mask is None:
+                reference_mask = result.bridge_mask
+            elif not np.array_equal(reference_mask, result.bridge_mask):
+                raise AssertionError(
+                    f"bridge algorithms disagree: {spec.label} vs {records[0].label}"
+                )
+        records.append(
+            BridgeRunRecord(
+                algorithm=key,
+                label=spec.label,
+                dataset=dataset,
+                n=edges.num_nodes,
+                m=edges.num_edges,
+                num_bridges=result.num_bridges,
+                total_time_s=ctx.elapsed,
+                phase_times=dict(result.phase_times),
+            )
+        )
+    return records

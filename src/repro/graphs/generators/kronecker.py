@@ -1,0 +1,79 @@
+"""Kronecker (RMAT) graph generator.
+
+The paper's bridge-finding experiments use the Graph500 ``kron_g500-logn16``
+… ``logn21`` instances: stochastic Kronecker graphs with ``2^k`` nodes and an
+edge factor of roughly 16–120, exhibiting skewed degrees and tiny diameters.
+Since the published instances cannot be downloaded here, this module
+regenerates graphs from the same distribution with the standard RMAT
+recursive-quadrant sampling procedure (Leskovec et al.), which is how the
+Graph500 instances themselves are produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ..edgelist import EdgeList
+
+#: Graph500 reference RMAT parameters.
+GRAPH500_PROBS = (0.57, 0.19, 0.19, 0.05)
+
+
+def rmat_graph(scale: int, edge_factor: int = 16,
+               probs=GRAPH500_PROBS, *, seed: int = 0,
+               deduplicate: bool = True, permute: bool = True) -> EdgeList:
+    """Generate an RMAT/Kronecker graph with ``2**scale`` nodes.
+
+    Parameters
+    ----------
+    scale:
+        log2 of the number of nodes.
+    edge_factor:
+        Number of undirected edges generated per node (before deduplication).
+    probs:
+        The ``(a, b, c, d)`` quadrant probabilities; must sum to 1.
+    deduplicate:
+        Collapse parallel edges and drop self-loops (the paper's instances are
+        simple graphs).
+    permute:
+        Apply a random node permutation so node ids carry no structure.
+    """
+    if scale <= 0 or scale > 30:
+        raise ConfigurationError("scale must be in (0, 30]")
+    if edge_factor <= 0:
+        raise ConfigurationError("edge_factor must be positive")
+    a, b, c, d = probs
+    if abs((a + b + c + d) - 1.0) > 1e-9 or min(a, b, c, d) < 0:
+        raise ConfigurationError("RMAT probabilities must be non-negative and sum to 1")
+
+    rng = np.random.default_rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    u = np.zeros(m, dtype=np.int64)
+    v = np.zeros(m, dtype=np.int64)
+    # Sample each address bit independently, the standard vectorised RMAT
+    # formulation: with probability a+b the source bit is 0, and the target
+    # bit is conditioned on the source bit.
+    p_src0 = a + b
+    p_tgt0_given_src0 = a / (a + b) if (a + b) > 0 else 0.0
+    p_tgt0_given_src1 = c / (c + d) if (c + d) > 0 else 0.0
+    for bit in range(scale):
+        src_is1 = rng.random(m) >= p_src0
+        p_tgt0 = np.where(src_is1, p_tgt0_given_src1, p_tgt0_given_src0)
+        tgt_is1 = rng.random(m) >= p_tgt0
+        u |= src_is1.astype(np.int64) << bit
+        v |= tgt_is1.astype(np.int64) << bit
+
+    edges = EdgeList(u, v, n)
+    if deduplicate:
+        edges = edges.deduplicated()
+    if permute:
+        perm = rng.permutation(n).astype(np.int64)
+        edges = edges.relabeled(perm)
+    return edges
+
+
+def kron_g500(logn: int, *, edge_factor: int = 16, seed: int = 0) -> EdgeList:
+    """Convenience wrapper mimicking the ``kron_g500-lognXX`` naming scheme."""
+    return rmat_graph(logn, edge_factor=edge_factor, seed=seed)

@@ -1,0 +1,173 @@
+"""Road-network-like graph generators.
+
+The paper's hardest bridge-finding instances are the DIMACS USA road graphs
+and the Great-Britain OSM graph: extremely sparse (average degree ≈ 2.5),
+with diameters in the thousands and millions of bridges.  Those properties —
+not the exact geography — are what make BFS-based algorithms slow and the
+Euler-tour-based TV algorithm shine, so the stand-ins here are perturbed 2-D
+grid graphs:
+
+* start from a ``rows × cols`` grid (diameter ``rows + cols``);
+* delete a random fraction of the edges while keeping the graph connected
+  (deleting edges creates degree-1/degree-2 filaments and bridges, just like
+  rural roads);
+* optionally subdivide a fraction of the remaining edges into chains, which
+  further stretches the diameter and adds bridges.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ...errors import ConfigurationError
+from ..edgelist import EdgeList
+
+
+def grid_graph(rows: int, cols: int) -> EdgeList:
+    """Plain ``rows × cols`` grid graph (4-neighbour connectivity)."""
+    if rows <= 0 or cols <= 0:
+        raise ConfigurationError("grid dimensions must be positive")
+    idx = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    horiz_u = idx[:, :-1].ravel()
+    horiz_v = idx[:, 1:].ravel()
+    vert_u = idx[:-1, :].ravel()
+    vert_v = idx[1:, :].ravel()
+    u = np.concatenate([horiz_u, vert_u])
+    v = np.concatenate([horiz_v, vert_v])
+    return EdgeList(u, v, rows * cols)
+
+
+def _spanning_tree_mask_grid(rows: int, cols: int, m: int) -> np.ndarray:
+    """Boolean mask over the edges of :func:`grid_graph` forming a spanning tree.
+
+    Uses the comb tree: the full first row plus every vertical edge — a
+    spanning tree expressible without any graph search, so edge deletion can
+    protect it cheaply.
+    """
+    mask = np.zeros(m, dtype=bool)
+    n_horiz = rows * (cols - 1)
+    # Horizontal edges of row 0 are the first (cols - 1) horizontal edges.
+    mask[: cols - 1] = True
+    # All vertical edges.
+    mask[n_horiz:] = True
+    return mask
+
+
+def road_graph(rows: int, cols: int, *, removal_fraction: float = 0.45,
+               subdivide_fraction: float = 0.0, deadend_fraction: float = 0.0,
+               seed: int = 0, permute: bool = True) -> EdgeList:
+    """Sparse, large-diameter, bridge-rich road-network stand-in.
+
+    Parameters
+    ----------
+    rows, cols:
+        Grid dimensions of the underlying lattice.
+    removal_fraction:
+        Fraction of non-spanning-tree edges to delete.  Higher values yield
+        sparser graphs with more bridges and a larger diameter.
+    subdivide_fraction:
+        Fraction of surviving edges replaced by length-2 chains through a new
+        degree-2 node; mimics long road segments and increases both the node
+        count and the diameter.
+    deadend_fraction:
+        Fraction of lattice nodes that receive a pendant chain of 1–3 new
+        nodes.  These "dead-end streets" are what makes real road networks
+        bridge-rich (the DIMACS USA graphs have bridges at ~60% of the node
+        count); every pendant edge is a bridge by construction.
+    seed:
+        Random seed.
+    permute:
+        Apply a random node permutation at the end.
+    """
+    if not (0.0 <= removal_fraction < 1.0):
+        raise ConfigurationError("removal_fraction must be in [0, 1)")
+    if not (0.0 <= subdivide_fraction <= 1.0):
+        raise ConfigurationError("subdivide_fraction must be in [0, 1]")
+    if not (0.0 <= deadend_fraction <= 1.0):
+        raise ConfigurationError("deadend_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    base = grid_graph(rows, cols)
+    m = base.num_edges
+    protected = _spanning_tree_mask_grid(rows, cols, m)
+    removable = np.flatnonzero(~protected)
+    n_remove = int(round(removal_fraction * removable.size))
+    remove = rng.choice(removable, size=n_remove, replace=False) if n_remove else np.empty(0, dtype=np.int64)
+    keep = np.ones(m, dtype=bool)
+    keep[remove] = False
+    u, v = base.u[keep], base.v[keep]
+    n = base.num_nodes
+
+    if subdivide_fraction > 0 and u.size:
+        n_sub = int(round(subdivide_fraction * u.size))
+        sub_idx = rng.choice(u.size, size=n_sub, replace=False) if n_sub else np.empty(0, dtype=np.int64)
+        sub_mask = np.zeros(u.size, dtype=bool)
+        sub_mask[sub_idx] = True
+        mid = np.arange(n, n + n_sub, dtype=np.int64)
+        keep_u, keep_v = u[~sub_mask], v[~sub_mask]
+        su, sv = u[sub_mask], v[sub_mask]
+        u = np.concatenate([keep_u, su, mid])
+        v = np.concatenate([keep_v, mid, sv])
+        n += n_sub
+
+    if deadend_fraction > 0:
+        lattice_nodes = base.num_nodes
+        anchors = np.flatnonzero(rng.random(lattice_nodes) < deadend_fraction)
+        if anchors.size:
+            lengths = rng.integers(1, 4, size=anchors.size)
+            total_new = int(lengths.sum())
+            new_ids = np.arange(n, n + total_new, dtype=np.int64)
+            offsets = np.zeros(anchors.size, dtype=np.int64)
+            np.cumsum(lengths[:-1], out=offsets[1:])
+            chain = np.repeat(np.arange(anchors.size), lengths)
+            pos_in_chain = np.arange(total_new) - offsets[chain]
+            predecessor = np.where(pos_in_chain == 0, anchors[chain], new_ids - 1)
+            u = np.concatenate([u, predecessor])
+            v = np.concatenate([v, new_ids])
+            n += total_new
+
+    edges = EdgeList(u, v, n)
+    if permute:
+        perm = rng.permutation(n).astype(np.int64)
+        edges = edges.relabeled(perm)
+    return edges
+
+
+def path_graph(n: int) -> EdgeList:
+    """A simple path on ``n`` nodes — the extreme large-diameter instance."""
+    if n <= 0:
+        raise ConfigurationError("path length must be positive")
+    idx = np.arange(n - 1, dtype=np.int64)
+    return EdgeList(idx, idx + 1, n)
+
+
+def cycle_graph(n: int) -> EdgeList:
+    """A cycle on ``n`` nodes — large diameter, zero bridges."""
+    if n < 3:
+        raise ConfigurationError("a cycle needs at least three nodes")
+    idx = np.arange(n, dtype=np.int64)
+    return EdgeList(idx, (idx + 1) % n, n)
+
+
+def road_graph_with_target_size(target_nodes: int, *, aspect: float = 1.0,
+                                removal_fraction: float = 0.45,
+                                subdivide_fraction: float = 0.0,
+                                deadend_fraction: float = 0.0,
+                                seed: int = 0) -> Tuple[EdgeList, Tuple[int, int]]:
+    """Build a road graph with roughly ``target_nodes`` lattice nodes.
+
+    Returns the graph and the ``(rows, cols)`` actually used.  Note that
+    subdivisions and dead-end chains add nodes on top of the lattice, so the
+    final node count exceeds ``target_nodes`` when those fractions are nonzero.
+    """
+    if target_nodes <= 3:
+        raise ConfigurationError("target_nodes must exceed 3")
+    rows = max(2, int(round((target_nodes * aspect) ** 0.5)))
+    cols = max(2, int(round(target_nodes / rows)))
+    return (
+        road_graph(rows, cols, removal_fraction=removal_fraction,
+                   subdivide_fraction=subdivide_fraction,
+                   deadend_fraction=deadend_fraction, seed=seed),
+        (rows, cols),
+    )

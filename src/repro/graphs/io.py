@@ -1,0 +1,92 @@
+"""Simple edge-list IO: whitespace text files and compressed NumPy archives.
+
+Real deployments of the paper's code read DIMACS/SNAP-style edge lists from
+disk.  The harness here generates its datasets synthetically, but round-trip
+IO is still provided so users can persist generated instances or load their
+own graphs into the same pipeline.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union
+
+import numpy as np
+
+from ..errors import InvalidGraphError
+from .edgelist import EdgeList
+
+PathLike = Union[str, os.PathLike]
+
+
+def save_edgelist_text(edges: EdgeList, path: PathLike, *, header: bool = True) -> None:
+    """Write an edge list as whitespace-separated ``u v`` lines.
+
+    A leading comment line ``# nodes=<n> edges=<m>`` records the node count so
+    isolated trailing nodes survive a round trip.
+    """
+    with open(path, "w", encoding="ascii") as fh:
+        if header:
+            fh.write(f"# nodes={edges.num_nodes} edges={edges.num_edges}\n")
+        for a, b in zip(edges.u.tolist(), edges.v.tolist()):
+            fh.write(f"{a} {b}\n")
+
+
+def load_edgelist_text(path: PathLike, *, num_nodes: Optional[int] = None) -> EdgeList:
+    """Read an edge list written by :func:`save_edgelist_text` (or SNAP-style).
+
+    Lines starting with ``#`` or ``%`` are treated as comments; a
+    ``# nodes=<n>`` comment (ours) fixes the node count, otherwise it is
+    inferred from the maximum id unless ``num_nodes`` is given.
+    """
+    us = []
+    vs = []
+    n_from_header: Optional[int] = None
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line[0] in "#%":
+                if "nodes=" in line:
+                    try:
+                        n_from_header = int(line.split("nodes=")[1].split()[0])
+                    except (IndexError, ValueError):
+                        pass
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise InvalidGraphError(f"malformed edge line: {line!r}")
+            us.append(int(parts[0]))
+            vs.append(int(parts[1]))
+    u = np.asarray(us, dtype=np.int64)
+    v = np.asarray(vs, dtype=np.int64)
+    if num_nodes is not None:
+        n = num_nodes
+    elif n_from_header is not None:
+        n = n_from_header
+    else:
+        n = int(max(u.max(initial=-1), v.max(initial=-1)) + 1) if u.size else 0
+    return EdgeList(u, v, n)
+
+
+def save_edgelist_npz(edges: EdgeList, path: PathLike) -> None:
+    """Persist an edge list as a compressed ``.npz`` archive."""
+    np.savez_compressed(path, u=edges.u, v=edges.v, n=np.int64(edges.num_nodes))
+
+
+def load_edgelist_npz(path: PathLike) -> EdgeList:
+    """Load an edge list written by :func:`save_edgelist_npz`."""
+    with np.load(path) as data:
+        return EdgeList(data["u"], data["v"], int(data["n"]))
+
+
+def save_parents_npz(parents: np.ndarray, path: PathLike) -> None:
+    """Persist a tree parent array as a compressed ``.npz`` archive."""
+    np.savez_compressed(path, parents=np.asarray(parents, dtype=np.int64))
+
+
+def load_parents_npz(path: PathLike) -> np.ndarray:
+    """Load a parent array written by :func:`save_parents_npz`."""
+    with np.load(path) as data:
+        return np.asarray(data["parents"], dtype=np.int64)

@@ -1,0 +1,121 @@
+"""Graph characterization helpers: the statistics reported in the paper's Table 1.
+
+Nodes, edges, bridge count and diameter of the largest connected component are
+what the paper tabulates for every bridge-finding dataset; this module
+computes them (the bridge count delegates to the sequential DFS oracle in
+:mod:`repro.bridges`, imported lazily to avoid a package cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..device import ExecutionContext
+from .bfs import bfs_cpu
+from .components import largest_connected_component
+from .csr import CSRGraph
+from .edgelist import EdgeList
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a graph (largest-CC convention, like Table 1)."""
+
+    name: str
+    nodes: int
+    edges: int
+    bridges: int
+    diameter: int
+    avg_degree: float
+    max_degree: int
+
+    def as_row(self) -> Dict[str, object]:
+        """Dictionary row for tabular reports."""
+        return {
+            "graph": self.name,
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "bridges": self.bridges,
+            "diameter": self.diameter,
+            "avg_degree": round(self.avg_degree, 2),
+            "max_degree": self.max_degree,
+        }
+
+
+def pseudo_diameter(edges: EdgeList, *, sweeps: int = 2,
+                    ctx: Optional[ExecutionContext] = None) -> int:
+    """Lower-bound diameter estimate by repeated double-sweep BFS.
+
+    Starts from the highest-degree node, repeatedly jumps to the farthest node
+    found and re-runs BFS; ``sweeps`` controls the number of jumps.  Exact on
+    trees, a tight lower bound in practice on the graph families used here —
+    the same technique experimental papers (including the datasets the paper
+    tabulates) typically use to report "diameter".
+    """
+    if edges.num_nodes == 0:
+        return 0
+    graph = CSRGraph.from_edgelist(edges)
+    deg = graph.degrees()
+    start = int(np.argmax(deg))
+    best = 0
+    source = start
+    for _ in range(max(1, sweeps)):
+        result = bfs_cpu(graph, source, ctx=ctx)
+        reached_levels = result.levels[result.levels >= 0]
+        if reached_levels.size == 0:
+            break
+        ecc = int(reached_levels.max())
+        best = max(best, ecc)
+        source = int(np.argmax(np.where(result.levels >= 0, result.levels, -1)))
+    return best
+
+
+def degree_statistics(edges: EdgeList) -> Dict[str, float]:
+    """Average / maximum / minimum degree of the graph."""
+    if edges.num_nodes == 0:
+        return {"avg": 0.0, "max": 0, "min": 0}
+    deg = edges.degrees()
+    return {"avg": float(deg.mean()), "max": int(deg.max()), "min": int(deg.min())}
+
+
+def characterize(edges: EdgeList, name: str = "graph", *, restrict_to_lcc: bool = True,
+                 diameter_sweeps: int = 2,
+                 ctx: Optional[ExecutionContext] = None) -> GraphStats:
+    """Compute the Table 1 statistics for a graph.
+
+    When ``restrict_to_lcc`` is true (the paper's convention), statistics are
+    computed on the largest connected component.
+    """
+    from ..bridges.dfs_cpu import find_bridges_dfs  # local import: avoids package cycle
+
+    work = edges.deduplicated()
+    if restrict_to_lcc and work.num_nodes:
+        work, _ = largest_connected_component(work, ctx=ctx)
+    deg = degree_statistics(work)
+    bridges_mask = (
+        find_bridges_dfs(work).bridge_mask if work.num_edges else np.zeros(0, dtype=bool)
+    )
+    return GraphStats(
+        name=name,
+        nodes=work.num_nodes,
+        edges=work.num_edges,
+        bridges=int(bridges_mask.sum()),
+        diameter=pseudo_diameter(work, sweeps=diameter_sweeps, ctx=ctx),
+        avg_degree=deg["avg"],
+        max_degree=int(deg["max"]),
+    )
+
+
+def is_tree(edges: EdgeList) -> bool:
+    """True when the graph is a tree (connected, exactly ``n - 1`` edges)."""
+    from .components import is_connected
+
+    if edges.num_nodes == 0:
+        return False
+    simple = edges.deduplicated()
+    if simple.num_edges != edges.num_edges:
+        return False
+    return edges.num_edges == edges.num_nodes - 1 and is_connected(edges)

@@ -1,0 +1,35 @@
+"""Lowest common ancestor algorithms (paper §3).
+
+* :class:`InlabelLCA` — parallel Schieber–Vishkin Inlabel algorithm (GPU, or
+  multi-core CPU when given a multi-core execution context).
+* :class:`SequentialInlabelLCA` — the single-core CPU Inlabel baseline.
+* :class:`NaiveGPULCA` — the naïve walk-up algorithm of Martins et al.
+* :class:`RMQLCA` — the RMQ-based baseline of the §3.1 preliminary experiment.
+* :class:`BinaryLiftingLCA`, :func:`brute_force_lca_batch` — test oracles.
+* :func:`run_batched_queries` — online batched querying (Figure 6).
+"""
+
+from .batch import BatchQueryResult, run_batched_queries
+from .inlabel import (
+    InlabelLCA,
+    InlabelStructure,
+    SequentialInlabelLCA,
+    build_inlabel_structure,
+)
+from .naive import NaiveGPULCA, pointer_jump_levels
+from .reference import BinaryLiftingLCA, brute_force_lca_batch
+from .rmq import RMQLCA
+
+__all__ = [
+    "InlabelLCA",
+    "SequentialInlabelLCA",
+    "InlabelStructure",
+    "build_inlabel_structure",
+    "NaiveGPULCA",
+    "pointer_jump_levels",
+    "RMQLCA",
+    "BinaryLiftingLCA",
+    "brute_force_lca_batch",
+    "BatchQueryResult",
+    "run_batched_queries",
+]

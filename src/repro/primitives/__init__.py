@@ -1,0 +1,67 @@
+"""Data-parallel building blocks (the moderngpu/Wei–JaJa substitute layer).
+
+Everything an Euler-tour algorithm needs — scans, segmented reductions,
+key sorting, stream compaction, gather/scatter, list ranking, and range
+min/max structures — implemented as instrumented NumPy kernels.  See
+DESIGN.md §2–3.
+"""
+
+from .compact import compact, compact_many, nonzero_indices
+from .gather import elementwise, gather, scatter
+from .listrank import (
+    list_rank,
+    order_from_ranks,
+    sequential_rank,
+    wei_jaja_rank,
+    wyllie_rank,
+)
+from .reduce import count_by_key, reduce_array, segreduce_by_key
+from .rmq import (
+    SegmentTreeRMQ,
+    SparseTableRMQ,
+    build_rmq,
+    range_minmax_over_subtrees,
+)
+from .scan import (
+    add_scan_offsets,
+    exclusive_scan,
+    inclusive_scan,
+    segmented_inclusive_scan,
+)
+from .sort import argsort_values, sort_key_value, sort_pairs, sort_values
+
+__all__ = [
+    # scan
+    "inclusive_scan",
+    "exclusive_scan",
+    "segmented_inclusive_scan",
+    "add_scan_offsets",
+    # reduce
+    "reduce_array",
+    "segreduce_by_key",
+    "count_by_key",
+    # sort
+    "sort_values",
+    "argsort_values",
+    "sort_pairs",
+    "sort_key_value",
+    # compact
+    "compact",
+    "compact_many",
+    "nonzero_indices",
+    # gather / scatter
+    "gather",
+    "scatter",
+    "elementwise",
+    # list ranking
+    "list_rank",
+    "wyllie_rank",
+    "wei_jaja_rank",
+    "sequential_rank",
+    "order_from_ranks",
+    # RMQ
+    "SegmentTreeRMQ",
+    "SparseTableRMQ",
+    "build_rmq",
+    "range_minmax_over_subtrees",
+]

@@ -1,0 +1,141 @@
+"""Reduction primitives: full reductions and segmented (keyed) reductions.
+
+The Tarjan–Vishkin bridge algorithm needs, for every node, the minimum and
+maximum preorder number among its *non-tree* neighbours.  The paper computes
+this with moderngpu's ``segreduce``; :func:`segreduce_by_key` is the
+equivalent here (keys = node ids, one segment per node).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..device import ExecutionContext, ensure_context
+
+_UFUNCS = {
+    "min": (np.minimum, np.fmin),
+    "max": (np.maximum, np.fmax),
+    "sum": (np.add, np.add),
+}
+
+_IDENTITY = {
+    "min": lambda dtype: np.iinfo(dtype).max if np.issubdtype(dtype, np.integer) else np.inf,
+    "max": lambda dtype: np.iinfo(dtype).min if np.issubdtype(dtype, np.integer) else -np.inf,
+    "sum": lambda dtype: 0,
+}
+
+
+def reduce_array(values: np.ndarray, op: str = "sum",
+                 *, ctx: Optional[ExecutionContext] = None):
+    """Reduce a 1-D array to a scalar with ``op`` in {"sum", "min", "max"}.
+
+    Charged as a single-pass streaming kernel (``n`` operations, one read of
+    the array, two launches for the block-then-final reduction).
+    """
+    ctx = ensure_context(ctx)
+    values = np.asarray(values)
+    if op not in _UFUNCS:
+        raise ValueError(f"unsupported reduction op {op!r}")
+    if values.size == 0:
+        raise ValueError("cannot reduce an empty array without an identity")
+    ctx.kernel(
+        f"reduce_{op}",
+        threads=values.size,
+        ops=float(values.size),
+        bytes_read=float(values.nbytes),
+        bytes_written=8.0,
+        launches=2,
+    )
+    if op == "sum":
+        return values.sum()
+    if op == "min":
+        return values.min()
+    return values.max()
+
+
+def segreduce_by_key(
+    keys: np.ndarray,
+    values: np.ndarray,
+    num_segments: int,
+    op: str = "min",
+    *,
+    identity=None,
+    ctx: Optional[ExecutionContext] = None,
+) -> np.ndarray:
+    """Segmented reduction: reduce ``values`` grouped by integer ``keys``.
+
+    Parameters
+    ----------
+    keys:
+        Integer array of segment ids in ``[0, num_segments)``.  Keys do *not*
+        need to be sorted (the cost model charges a scatter-style kernel,
+        matching atomic-based GPU segreduce implementations).
+    values:
+        Values to reduce, same length as ``keys``.
+    num_segments:
+        Size of the output array.
+    op:
+        One of ``"min"``, ``"max"``, ``"sum"``.
+    identity:
+        Value used for segments that receive no elements.  Defaults to the
+        natural identity of ``op`` for the value dtype.
+
+    Returns
+    -------
+    numpy.ndarray of length ``num_segments``.
+    """
+    ctx = ensure_context(ctx)
+    keys = np.asarray(keys)
+    values = np.asarray(values)
+    if keys.shape != values.shape or keys.ndim != 1:
+        raise ValueError("keys and values must be 1-D arrays of equal length")
+    if num_segments < 0:
+        raise ValueError("num_segments must be non-negative")
+    if op not in _UFUNCS:
+        raise ValueError(f"unsupported reduction op {op!r}")
+    if keys.size and (keys.min() < 0 or keys.max() >= num_segments):
+        raise ValueError("keys must lie in [0, num_segments)")
+
+    if identity is None:
+        identity = _IDENTITY[op](values.dtype)
+    out = np.full(num_segments, identity, dtype=values.dtype)
+    ufunc = _UFUNCS[op][0]
+    if keys.size:
+        ufunc.at(out, keys, values)
+
+    ctx.kernel(
+        f"segreduce_{op}",
+        threads=max(int(keys.size), 1),
+        ops=float(keys.size),
+        bytes_read=float(keys.nbytes + values.nbytes),
+        bytes_written=float(out.nbytes),
+        launches=1,
+        random_access=True,
+    )
+    return out
+
+
+def count_by_key(keys: np.ndarray, num_segments: int,
+                 *, ctx: Optional[ExecutionContext] = None) -> np.ndarray:
+    """Histogram of integer keys: ``out[k] = #{i : keys[i] == k}``."""
+    ctx = ensure_context(ctx)
+    keys = np.asarray(keys)
+    if keys.ndim != 1:
+        raise ValueError("keys must be a 1-D array")
+    if num_segments < 0:
+        raise ValueError("num_segments must be non-negative")
+    if keys.size and (keys.min() < 0 or keys.max() >= num_segments):
+        raise ValueError("keys must lie in [0, num_segments)")
+    out = np.bincount(keys, minlength=num_segments).astype(np.int64)
+    ctx.kernel(
+        "histogram",
+        threads=max(int(keys.size), 1),
+        ops=float(keys.size),
+        bytes_read=float(keys.nbytes),
+        bytes_written=float(out.nbytes),
+        launches=1,
+        random_access=True,
+    )
+    return out

@@ -1,0 +1,86 @@
+"""Tests for trace summarization and breakdown reporting."""
+
+import pytest
+
+from repro.device import (
+    GTX980,
+    ExecutionContext,
+    PhaseBreakdown,
+    compare_totals,
+    format_breakdown_table,
+    speedup,
+    summarize_kernels,
+)
+
+
+def _ctx_with_phases():
+    ctx = ExecutionContext(GTX980, trace=True)
+    with ctx.phase("build"):
+        ctx.kernel("scan", threads=1000, ops=2000, bytes_read=8000, bytes_written=8000)
+        ctx.kernel("scan", threads=1000, ops=2000, bytes_read=8000, bytes_written=8000)
+    with ctx.phase("query"):
+        ctx.kernel("lookup", threads=500, ops=500)
+    return ctx
+
+
+class TestPhaseBreakdown:
+    def test_from_context_captures_phases(self):
+        ctx = _ctx_with_phases()
+        bd = PhaseBreakdown.from_context("run1", ctx)
+        assert bd.label == "run1"
+        assert set(bd.as_dict()) == {"build", "query"}
+        assert bd.total == pytest.approx(ctx.elapsed)
+
+    def test_compare_totals(self):
+        ctx = _ctx_with_phases()
+        bd = PhaseBreakdown.from_context("run1", ctx)
+        assert compare_totals([bd]) == {"run1": pytest.approx(ctx.elapsed)}
+
+
+class TestSummarizeKernels:
+    def test_aggregates_by_name(self):
+        ctx = _ctx_with_phases()
+        summary = summarize_kernels(ctx.records)
+        assert summary["scan"]["launches"] == 2
+        assert summary["scan"]["ops"] == 4000
+        assert summary["lookup"]["launches"] == 1
+
+    def test_empty_trace(self):
+        assert summarize_kernels([]) == {}
+
+
+class TestFormatBreakdownTable:
+    def test_contains_all_phases_and_runs(self):
+        ctx = _ctx_with_phases()
+        bd = PhaseBreakdown.from_context("algorithm-a", ctx)
+        text = format_breakdown_table([bd])
+        assert "algorithm-a" in text
+        assert "build" in text
+        assert "query" in text
+        assert "total" in text
+
+    def test_missing_phase_shown_as_dash(self):
+        a = PhaseBreakdown("a", (("p1", 1e-3),))
+        b = PhaseBreakdown("b", (("p2", 2e-3),))
+        text = format_breakdown_table([a, b])
+        assert "-" in text
+
+    def test_unit_conversion(self):
+        a = PhaseBreakdown("a", (("p1", 1.0),))
+        ms = format_breakdown_table([a], time_unit="ms")
+        s = format_breakdown_table([a], time_unit="s")
+        assert "1000.00" in ms
+        assert "1.00" in s
+
+    def test_bad_unit_rejected(self):
+        with pytest.raises(ValueError):
+            format_breakdown_table([], time_unit="minutes")
+
+
+class TestSpeedup:
+    def test_speedup_ratio(self):
+        assert speedup(2.0, 0.5) == pytest.approx(4.0)
+
+    def test_zero_candidate_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)

@@ -1,0 +1,111 @@
+"""Tests for node statistics derived from the Euler tour."""
+
+import numpy as np
+import pytest
+
+from repro.euler import (
+    build_euler_tour_from_parents,
+    compute_tree_stats,
+    tree_statistics_from_parents,
+)
+from repro.graphs import (
+    depths_from_parents,
+    subtree_sizes_from_parents,
+)
+
+from .conftest import TREE_KINDS, make_tree
+
+
+class TestAgainstSequentialOracles:
+    @pytest.mark.parametrize("kind", TREE_KINDS)
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 64, 333])
+    def test_all_statistics(self, kind, n):
+        parents = make_tree(kind, n, seed=n + 17)
+        stats = tree_statistics_from_parents(parents)
+        assert np.array_equal(stats.parent, parents)
+        assert np.array_equal(stats.depth, depths_from_parents(parents))
+        assert np.array_equal(stats.subtree_size, subtree_sizes_from_parents(parents))
+
+    @pytest.mark.parametrize("n", [1, 2, 10, 100])
+    def test_preorder_is_valid(self, n):
+        parents = make_tree("shallow", n, seed=n)
+        stats = tree_statistics_from_parents(parents)
+        # 1-based permutation with the root first.
+        assert sorted(stats.preorder.tolist()) == list(range(1, n + 1))
+        assert stats.preorder[stats.root] == 1
+        # Children have larger preorder numbers than their parents.
+        for v in range(n):
+            if v != stats.root:
+                assert stats.preorder[v] > stats.preorder[parents[v]]
+
+    def test_preorder_subtree_intervals_nest(self):
+        parents = make_tree("shallow", 200, seed=5)
+        stats = tree_statistics_from_parents(parents)
+        start, end = stats.preorder_interval()
+        for v in range(200):
+            p = parents[v]
+            if p < 0:
+                continue
+            # child interval contained in parent interval
+            assert start[p] <= start[v] <= end[v] <= end[p]
+
+    def test_subtree_interval_size_matches(self):
+        parents = make_tree("scale-free", 150, seed=6)
+        stats = tree_statistics_from_parents(parents)
+        start, end = stats.preorder_interval()
+        assert np.array_equal(end - start + 1, stats.subtree_size)
+
+
+class TestFigure1:
+    def test_exact_values(self, figure1_parents):
+        stats = tree_statistics_from_parents(figure1_parents)
+        assert stats.root == 0
+        assert stats.depth.tolist() == [0, 2, 1, 1, 1, 2]
+        assert stats.subtree_size.tolist() == [6, 1, 3, 1, 1, 1]
+        assert stats.preorder[0] == 1
+        # node 2's subtree {1, 2, 5} occupies a contiguous preorder interval
+        pre = stats.preorder
+        interval = sorted([pre[1], pre[2], pre[5]])
+        assert interval == list(range(pre[2], pre[2] + 3))
+
+
+class TestRootVariants:
+    def test_stats_respect_chosen_root(self):
+        from repro.graphs import parents_to_edgelist, edgelist_to_parents
+        from repro.euler import build_euler_tour
+
+        base = make_tree("shallow", 80, seed=9)
+        edges = parents_to_edgelist(base)
+        root = 42
+        tour = build_euler_tour(edges, root)
+        stats = compute_tree_stats(tour)
+        expected_parents = edgelist_to_parents(edges, root)
+        assert np.array_equal(stats.parent, expected_parents)
+        assert np.array_equal(stats.depth, depths_from_parents(expected_parents))
+
+    def test_single_node(self):
+        stats = tree_statistics_from_parents(np.asarray([-1]))
+        assert stats.parent.tolist() == [-1]
+        assert stats.depth.tolist() == [0]
+        assert stats.subtree_size.tolist() == [1]
+        assert stats.preorder.tolist() == [1]
+
+
+class TestCostAccounting:
+    def test_charged_to_context(self, gpu_ctx):
+        parents = make_tree("shallow", 500, seed=1)
+        tree_statistics_from_parents(parents, ctx=gpu_ctx)
+        assert gpu_ctx.elapsed > 0
+        assert gpu_ctx.total_launches > 5
+
+    def test_scan_based_stats_cheaper_than_tour_construction(self):
+        """The §2.2 optimization: after the single list ranking, node
+        statistics are plain array scans, much cheaper than the tour build."""
+        from repro.device import ExecutionContext, GTX980
+
+        parents = make_tree("shallow", 20_000, seed=2)
+        tour_ctx = ExecutionContext(GTX980)
+        tour = build_euler_tour_from_parents(parents, ctx=tour_ctx)
+        stats_ctx = ExecutionContext(GTX980)
+        compute_tree_stats(tour, ctx=stats_ctx)
+        assert stats_ctx.elapsed < tour_ctx.elapsed

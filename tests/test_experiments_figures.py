@@ -1,0 +1,168 @@
+"""Tests for the per-figure experiment runners (small-scale smoke + shape checks)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_rows, format_series, pivot_rows
+from repro.experiments import bridges_experiments as bx
+from repro.experiments import lca_experiments as lx
+
+
+def by_algorithm(rows, **filters):
+    out = {}
+    for row in rows:
+        if all(row.get(k) == v for k, v in filters.items()):
+            out.setdefault(row["algorithm"], []).append(row)
+    return out
+
+
+class TestLCAFigures:
+    def test_general_comparison_rows(self):
+        rows = lx.general_comparison(sizes=[2048, 4096], tree_kind="shallow")
+        assert len(rows) == 2 * 4
+        assert {row["tree_kind"] for row in rows} == {"shallow"}
+        assert {row["n"] for row in rows} == {2048, 4096}
+
+    def test_fig3_shallow_ordering(self):
+        """Figure 3a/3c shape: naïve preprocessing fastest; GPU Inlabel queries
+        fastest; single-core CPU slowest on both axes."""
+        rows = lx.general_comparison(sizes=[16384], tree_kind="shallow")
+        data = {row["algorithm"]: row for row in rows}
+        assert data["GPU Naive"]["nodes_per_s"] > data["GPU Inlabel"]["nodes_per_s"]
+        assert data["GPU Inlabel"]["nodes_per_s"] > data["Single-core CPU Inlabel"]["nodes_per_s"]
+        assert data["GPU Inlabel"]["queries_per_s"] > data["Multi-core CPU Inlabel"]["queries_per_s"]
+        assert data["Multi-core CPU Inlabel"]["queries_per_s"] > data["Single-core CPU Inlabel"]["queries_per_s"]
+
+    def test_fig3_deep_naive_query_collapse(self):
+        """Figure 3d shape: on deep trees the naïve GPU algorithm's query
+        throughput collapses below the single-core CPU Inlabel baseline.
+
+        The collapse depends on the *absolute* average depth (the paper's deep
+        trees have depth ≥ 1000), so the scaled-down test tree uses a small
+        grasp value to reach a comparable depth at 16K nodes.
+        """
+        rows = lx.general_comparison(sizes=[16384], tree_kind="deep", grasp=4)
+        data = {row["algorithm"]: row for row in rows}
+        assert data["GPU Naive"]["queries_per_s"] < data["Single-core CPU Inlabel"]["queries_per_s"]
+        assert data["GPU Inlabel"]["queries_per_s"] > 50 * data["GPU Naive"]["queries_per_s"]
+
+    def test_fig4_crossover_with_ratio(self):
+        """Figure 4 shape: the naïve algorithm wins at low queries-to-nodes
+        ratios, the Inlabel algorithm wins at high ratios."""
+        rows = lx.queries_to_nodes_ratio(n=16384, ratios=(0.125, 16.0))
+        data = by_algorithm(rows)
+        naive = {row["ratio"]: row["total_ms"] for row in data["GPU Naive"]}
+        inlabel = {row["ratio"]: row["total_ms"] for row in data["GPU Inlabel"]}
+        assert naive[0.125] < inlabel[0.125]
+        assert inlabel[16.0] < naive[16.0]
+
+    def test_fig5_depth_sweep_shape(self):
+        """Figure 5 shape: GPU Inlabel total time is flat in depth while the
+        naïve algorithm degrades sharply on deep trees."""
+        n = 8192
+        rows = lx.depth_sweep(n=n, target_depths=[np.log(n), n / 4.0])
+        data = by_algorithm(rows)
+        inlabel = [row["total_ms"] for row in data["GPU Inlabel"]]
+        naive = [row["total_ms"] for row in data["GPU Naive"]]
+        assert inlabel[1] < 1.5 * inlabel[0]          # flat
+        assert naive[1] > 10 * naive[0]               # collapses
+        assert naive[0] < inlabel[0]                  # naive wins on shallowest
+        assert naive[1] > inlabel[1]                  # inlabel wins on deep
+
+    def test_fig6_batch_sweep_shape(self):
+        """Figure 6 shape: GPU throughput grows with batch size and overtakes
+        both CPU variants once batches are large."""
+        rows = lx.batch_size_sweep(n=8192, q=8192, batch_sizes=(1, 128, 8192),
+                                   max_batches_per_size=64)
+        data = by_algorithm(rows)
+        gpu = {row["batch_size"]: row["queries_per_s"] for row in data["GPU Inlabel"]}
+        cpu1 = {row["batch_size"]: row["queries_per_s"] for row in data["Single-core CPU Inlabel"]}
+        assert gpu[8192] > 100 * gpu[1]
+        assert cpu1[1] > gpu[1]          # single queries favour the CPU
+        assert gpu[8192] > cpu1[8192]    # large batches favour the GPU
+
+    def test_fig7_8_scale_free(self):
+        rows = lx.scale_free_comparison(sizes=[4096])
+        assert {row["tree_kind"] for row in rows} == {"scale-free"}
+        assert len(rows) == 4
+
+    def test_prelim_shape(self):
+        """§3.1: RMQ preprocesses faster, Inlabel answers queries faster."""
+        rows = lx.cpu_preliminary(n=16384)
+        data = {row["algorithm"]: row for row in rows}
+        rmq = data["Single-core CPU RMQ"]
+        inlabel = data["Single-core CPU Inlabel"]
+        assert rmq["preprocess_ms"] < inlabel["preprocess_ms"]
+        assert inlabel["query_ms"] < rmq["query_ms"]
+
+
+class TestBridgeFigures:
+    def test_table1_rows(self):
+        rows = bx.dataset_table(names=["kron-s10", "road-east-like"], scale=0.05)
+        assert len(rows) == 2
+        for row in rows:
+            assert row["nodes"] > 0
+            assert row["edges"] >= row["nodes"] - 1
+            assert 0 <= row["bridges"] < row["edges"]
+            assert row["paper_nodes"] > row["nodes"]  # stand-ins are scaled down
+
+    def test_fig9_rows_and_agreement(self):
+        rows = bx.kronecker_comparison(names=["kron-s10"], scale=0.25)
+        assert {row["algorithm"] for row in rows} == {
+            "Single-core CPU DFS", "Multi-core CPU CK", "GPU CK", "GPU TV"}
+        assert len({row["bridges"] for row in rows}) == 1
+
+    def test_fig10_road_shape(self):
+        """Figure 10 shape: on road graphs GPU TV beats GPU CK decisively."""
+        rows = bx.realworld_comparison(names=["road-east-like"], scale=0.08)
+        data = {row["algorithm"]: row["total_ms"] for row in rows}
+        assert data["GPU TV"] < data["GPU CK"]
+        assert data["GPU TV"] < data["Single-core CPU DFS"]
+
+    def test_fig11_breakdown_phases(self):
+        breakdowns = bx.breakdown(names=["road-east-like"], scale=0.05)
+        labels = {bd.label for bd in breakdowns}
+        assert labels == {
+            "road-east-like / GPU CK",
+            "road-east-like / GPU TV",
+            "road-east-like / GPU Hybrid",
+        }
+        for bd in breakdowns:
+            assert bd.total > 0
+            if "GPU TV" in bd.label:
+                assert dict(bd.phases).keys() == {"Spanning tree", "Euler tour",
+                                                  "Detect bridges"}
+
+    def test_speedup_summary(self):
+        rows = bx.kronecker_comparison(names=["kron-s10"], scale=0.25)
+        speedups = bx.speedup_summary(rows)
+        assert len(speedups) == 1
+        assert speedups[0]["speedup"] > 0
+
+
+class TestReportFormatting:
+    def test_format_rows_alignment_and_content(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yyy"}]
+        text = format_rows(rows, title="demo")
+        assert text.splitlines()[0] == "demo"
+        assert "22" in text and "yyy" in text
+
+    def test_format_rows_empty(self):
+        assert "(no rows)" in format_rows([])
+
+    def test_pivot(self):
+        rows = [
+            {"n": 1, "algorithm": "A", "t": 10},
+            {"n": 1, "algorithm": "B", "t": 20},
+            {"n": 2, "algorithm": "A", "t": 30},
+        ]
+        wide = pivot_rows(rows, index="n", column="algorithm", value="t")
+        assert wide == [{"n": 1, "A": 10, "B": 20}, {"n": 2, "A": 30}]
+
+    def test_format_series(self):
+        rows = [
+            {"n": 1, "algorithm": "A", "t": 10},
+            {"n": 1, "algorithm": "B", "t": 20},
+        ]
+        text = format_series(rows, x="n", y="t", series="algorithm")
+        assert "A" in text and "B" in text and "10" in text

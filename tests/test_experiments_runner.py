@@ -1,0 +1,107 @@
+"""Tests for the experiment runners (algorithm casts and single-run drivers)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import (
+    BRIDGE_ALGORITHMS,
+    FIGURE_BRIDGE_ALGORITHMS,
+    LCA_ALGORITHMS,
+    run_bridges,
+    run_lca,
+)
+from repro.graphs import generate_random_queries
+from repro.graphs.generators import random_attachment_tree, rmat_graph
+from repro.graphs import largest_connected_component
+
+from .conftest import random_connected_graph
+
+
+class TestLCACast:
+    def test_cast_matches_paper(self):
+        labels = {spec.label for spec in LCA_ALGORITHMS.values()}
+        assert labels == {
+            "Single-core CPU Inlabel",
+            "Multi-core CPU Inlabel",
+            "GPU Naive",
+            "GPU Inlabel",
+        }
+
+    def test_run_lca_produces_one_record_per_algorithm(self):
+        parents = random_attachment_tree(2000, seed=0)
+        xs, ys = generate_random_queries(2000, 1000, seed=1)
+        records = run_lca(parents, xs, ys)
+        assert len(records) == 4
+        assert {r.label for r in records} == {spec.label for spec in LCA_ALGORITHMS.values()}
+        for record in records:
+            assert record.n == 2000
+            assert record.q == 1000
+            assert record.preprocess_time_s > 0
+            assert record.query_time_s > 0
+            assert record.total_time_s == pytest.approx(
+                record.preprocess_time_s + record.query_time_s
+            )
+            row = record.as_row()
+            assert set(row) >= {"algorithm", "n", "q", "preprocess_ms", "query_ms",
+                                "nodes_per_s", "queries_per_s"}
+
+    def test_agreement_check_runs(self):
+        parents = random_attachment_tree(500, seed=2)
+        xs, ys = generate_random_queries(500, 200, seed=3)
+        records = run_lca(parents, xs, ys, ["gpu-inlabel", "gpu-naive"], keep_answers=True)
+        assert np.array_equal(records[0].answers, records[1].answers)
+
+    def test_answers_dropped_by_default(self):
+        parents = random_attachment_tree(100, seed=4)
+        xs, ys = generate_random_queries(100, 50, seed=5)
+        assert run_lca(parents, xs, ys, ["gpu-inlabel"])[0].answers is None
+
+    def test_unknown_algorithm_rejected(self):
+        parents = random_attachment_tree(10, seed=6)
+        with pytest.raises(ConfigurationError):
+            run_lca(parents, np.asarray([0]), np.asarray([1]), ["gpu-quantum"])
+
+    def test_gpu_inlabel_fastest_queries(self):
+        """A coarse sanity check of the Figure 3c ordering."""
+        parents = random_attachment_tree(20_000, seed=7)
+        xs, ys = generate_random_queries(20_000, 20_000, seed=8)
+        records = {r.label: r for r in run_lca(parents, xs, ys)}
+        assert (records["GPU Inlabel"].queries_per_second
+                > records["Multi-core CPU Inlabel"].queries_per_second
+                > records["Single-core CPU Inlabel"].queries_per_second)
+
+
+class TestBridgeCast:
+    def test_cast_matches_paper(self):
+        labels = {spec.label for spec in BRIDGE_ALGORITHMS.values()}
+        assert labels == {
+            "Single-core CPU DFS",
+            "Multi-core CPU CK",
+            "GPU CK",
+            "GPU TV",
+            "GPU Hybrid",
+        }
+        assert len(FIGURE_BRIDGE_ALGORITHMS) == 4
+
+    def test_run_bridges_records(self):
+        g = random_connected_graph(300, 200, seed=9)
+        records = run_bridges(g, dataset="toy")
+        assert len(records) == 4
+        bridge_counts = {r.num_bridges for r in records}
+        assert len(bridge_counts) == 1  # all algorithms agree
+        for record in records:
+            assert record.dataset == "toy"
+            assert record.total_time_s > 0
+            assert record.as_row()["bridges"] == record.num_bridges
+
+    def test_run_bridges_with_hybrid(self):
+        g, _ = largest_connected_component(rmat_graph(8, 8, seed=10))
+        records = run_bridges(g, algorithms=["gpu-tv", "gpu-hybrid"])
+        assert [r.label for r in records] == ["GPU TV", "GPU Hybrid"]
+        assert records[1].phase_times  # hybrid exposes its phase breakdown
+
+    def test_unknown_algorithm_rejected(self):
+        g = random_connected_graph(20, 5, seed=11)
+        with pytest.raises(ConfigurationError):
+            run_bridges(g, algorithms=["gpu-magic"])

@@ -1,0 +1,70 @@
+"""Tests for edge-list and parent-array IO."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidGraphError
+from repro.graphs import EdgeList
+from repro.graphs.generators import random_attachment_tree
+from repro.graphs.io import (
+    load_edgelist_npz,
+    load_edgelist_text,
+    load_parents_npz,
+    save_edgelist_npz,
+    save_edgelist_text,
+    save_parents_npz,
+)
+
+from .conftest import random_connected_graph
+
+
+class TestTextIO:
+    def test_roundtrip(self, tmp_path):
+        g = random_connected_graph(30, 20, seed=0)
+        path = tmp_path / "graph.txt"
+        save_edgelist_text(g, path)
+        back = load_edgelist_text(path)
+        assert back.num_nodes == g.num_nodes
+        assert np.array_equal(back.u, g.u)
+        assert np.array_equal(back.v, g.v)
+
+    def test_roundtrip_preserves_isolated_trailing_nodes(self, tmp_path):
+        g = EdgeList.from_pairs([(0, 1)], n=5)
+        path = tmp_path / "iso.txt"
+        save_edgelist_text(g, path)
+        assert load_edgelist_text(path).num_nodes == 5
+
+    def test_load_without_header_infers_n(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("% a comment\n0 3\n1 2\n")
+        g = load_edgelist_text(path)
+        assert g.num_nodes == 4
+        assert g.num_edges == 2
+
+    def test_explicit_num_nodes_overrides(self, tmp_path):
+        path = tmp_path / "plain.txt"
+        path.write_text("0 1\n")
+        assert load_edgelist_text(path, num_nodes=10).num_nodes == 10
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("42\n")
+        with pytest.raises(InvalidGraphError):
+            load_edgelist_text(path)
+
+
+class TestNpzIO:
+    def test_edgelist_roundtrip(self, tmp_path):
+        g = random_connected_graph(25, 10, seed=1)
+        path = tmp_path / "graph.npz"
+        save_edgelist_npz(g, path)
+        back = load_edgelist_npz(path)
+        assert back.num_nodes == g.num_nodes
+        assert np.array_equal(back.u, g.u)
+        assert np.array_equal(back.v, g.v)
+
+    def test_parents_roundtrip(self, tmp_path):
+        parents = random_attachment_tree(40, seed=2)
+        path = tmp_path / "tree.npz"
+        save_parents_npz(parents, path)
+        assert np.array_equal(load_parents_npz(path), parents)

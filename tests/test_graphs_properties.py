@@ -1,0 +1,97 @@
+"""Tests for graph characterization (Table 1 statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import EdgeList, characterize, degree_statistics, is_tree, pseudo_diameter
+from repro.graphs.generators import cycle_graph, grid_graph, path_graph, rmat_graph
+
+from .conftest import random_connected_graph
+
+
+class TestPseudoDiameter:
+    def test_path(self):
+        assert pseudo_diameter(path_graph(30)) == 29
+
+    def test_cycle(self):
+        assert pseudo_diameter(cycle_graph(20)) in (10, 11)
+
+    def test_grid(self):
+        # exact diameter of a 5x8 grid is 4 + 7 = 11; the double sweep is a
+        # lower bound that should reach at least most of it
+        assert 8 <= pseudo_diameter(grid_graph(5, 8)) <= 11
+
+    def test_lower_bound_of_true_diameter(self):
+        import networkx as nx
+
+        g = random_connected_graph(60, 30, seed=0)
+        nxg = nx.Graph()
+        nxg.add_nodes_from(range(60))
+        nxg.add_edges_from((int(a), int(b)) for a, b in g.edges())
+        true_diameter = nx.diameter(nxg)
+        estimate = pseudo_diameter(g, sweeps=3)
+        assert estimate <= true_diameter
+        assert estimate >= true_diameter / 2
+
+    def test_empty_graph(self):
+        assert pseudo_diameter(EdgeList.from_pairs([], n=0)) == 0
+
+
+class TestDegreeStatistics:
+    def test_basic(self):
+        g = EdgeList.from_pairs([(0, 1), (1, 2)], n=3)
+        stats = degree_statistics(g)
+        assert stats["max"] == 2
+        assert stats["min"] == 1
+        assert stats["avg"] == pytest.approx(4 / 3)
+
+    def test_empty(self):
+        assert degree_statistics(EdgeList.from_pairs([], n=0))["avg"] == 0.0
+
+
+class TestCharacterize:
+    def test_path_statistics(self):
+        stats = characterize(path_graph(40), "path")
+        assert stats.nodes == 40
+        assert stats.edges == 39
+        assert stats.bridges == 39
+        assert stats.diameter == 39
+        assert stats.name == "path"
+
+    def test_cycle_has_no_bridges(self):
+        stats = characterize(cycle_graph(30), "cycle")
+        assert stats.bridges == 0
+
+    def test_restricts_to_largest_component(self):
+        g = EdgeList.from_pairs([(0, 1), (1, 2), (3, 4)], n=6)
+        stats = characterize(g, "multi", restrict_to_lcc=True)
+        assert stats.nodes == 3
+        full = characterize(g, "multi", restrict_to_lcc=False)
+        assert full.nodes == 6
+
+    def test_as_row_contains_all_columns(self):
+        row = characterize(path_graph(10), "p").as_row()
+        assert set(row) == {"graph", "nodes", "edges", "bridges", "diameter",
+                            "avg_degree", "max_degree"}
+
+    def test_kron_statistics_plausible(self):
+        stats = characterize(rmat_graph(8, 8, seed=1), "kron")
+        assert stats.diameter <= 10
+        assert stats.edges > stats.nodes
+
+
+class TestIsTree:
+    def test_path_is_tree(self):
+        assert is_tree(path_graph(10))
+
+    def test_cycle_is_not_tree(self):
+        assert not is_tree(cycle_graph(10))
+
+    def test_disconnected_forest_is_not_tree(self):
+        assert not is_tree(EdgeList.from_pairs([(0, 1), (2, 3)], n=4))
+
+    def test_multigraph_is_not_tree(self):
+        assert not is_tree(EdgeList.from_pairs([(0, 1), (0, 1), (1, 2)], n=3))
+
+    def test_empty_graph_is_not_tree(self):
+        assert not is_tree(EdgeList.from_pairs([], n=0))

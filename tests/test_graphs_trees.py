@@ -1,0 +1,161 @@
+"""Tests for parent-array tree utilities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidGraphError, NotATreeError
+from repro.graphs import (
+    EdgeList,
+    average_depth,
+    brute_force_lca,
+    depths_from_parents,
+    edgelist_to_parents,
+    generate_random_queries,
+    parents_to_edgelist,
+    random_relabel_tree,
+    relabel_tree,
+    subtree_sizes_from_parents,
+    tree_height,
+    tree_root,
+    validate_parents,
+)
+
+
+class TestValidation:
+    def test_valid_tree(self, figure1_parents):
+        assert validate_parents(figure1_parents) == 0
+
+    def test_single_node(self):
+        assert validate_parents(np.asarray([-1])) == 0
+
+    def test_no_root_rejected(self):
+        with pytest.raises(NotATreeError):
+            validate_parents(np.asarray([1, 0]))
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(NotATreeError):
+            validate_parents(np.asarray([-1, -1]))
+
+    def test_cycle_rejected(self):
+        with pytest.raises(NotATreeError):
+            validate_parents(np.asarray([-1, 2, 3, 1]))
+
+    def test_out_of_range_parent_rejected(self):
+        with pytest.raises(NotATreeError):
+            validate_parents(np.asarray([-1, 9]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(NotATreeError):
+            validate_parents(np.asarray([], dtype=np.int64))
+
+    def test_tree_root(self, figure1_parents):
+        assert tree_root(figure1_parents) == 0
+
+
+class TestConversions:
+    def test_parents_to_edgelist(self, figure1_parents):
+        edges = parents_to_edgelist(figure1_parents)
+        assert edges.num_nodes == 6
+        assert edges.num_edges == 5
+        undirected = {(min(a, b), max(a, b)) for a, b in edges.edges()}
+        assert undirected == {(0, 2), (0, 3), (0, 4), (1, 2), (2, 5)}
+
+    def test_edgelist_to_parents_roundtrip(self, figure1_parents):
+        edges = parents_to_edgelist(figure1_parents)
+        back = edgelist_to_parents(edges, root=0)
+        assert np.array_equal(back, figure1_parents)
+
+    def test_edgelist_to_parents_other_root(self, figure1_parents):
+        edges = parents_to_edgelist(figure1_parents)
+        reparented = edgelist_to_parents(edges, root=5)
+        assert reparented[5] == -1
+        assert validate_parents(reparented) == 5
+
+    def test_edgelist_to_parents_wrong_edge_count_rejected(self):
+        edges = EdgeList.from_pairs([(0, 1), (1, 2), (0, 2)], n=3)
+        with pytest.raises(NotATreeError):
+            edgelist_to_parents(edges)
+
+    def test_edgelist_to_parents_disconnected_rejected(self):
+        edges = EdgeList.from_pairs([(0, 1), (0, 1)], n=3)
+        with pytest.raises(NotATreeError):
+            edgelist_to_parents(edges)
+
+    def test_edgelist_to_parents_bad_root_rejected(self):
+        edges = EdgeList.from_pairs([(0, 1)], n=2)
+        with pytest.raises(InvalidGraphError):
+            edgelist_to_parents(edges, root=7)
+
+
+class TestStatistics:
+    def test_depths_figure1(self, figure1_parents):
+        assert depths_from_parents(figure1_parents).tolist() == [0, 2, 1, 1, 1, 2]
+
+    def test_sizes_figure1(self, figure1_parents):
+        assert subtree_sizes_from_parents(figure1_parents).tolist() == [6, 1, 3, 1, 1, 1]
+
+    def test_path_depths(self):
+        parents = np.asarray([-1, 0, 1, 2])
+        assert depths_from_parents(parents).tolist() == [0, 1, 2, 3]
+        assert tree_height(parents) == 3
+        assert average_depth(parents) == pytest.approx(1.5)
+
+    def test_star_sizes(self):
+        parents = np.asarray([-1, 0, 0, 0])
+        assert subtree_sizes_from_parents(parents).tolist() == [4, 1, 1, 1]
+
+
+class TestRelabeling:
+    def test_relabel_preserves_structure(self, figure1_parents):
+        perm = np.asarray([3, 4, 5, 0, 1, 2])
+        relabeled = relabel_tree(figure1_parents, perm)
+        assert validate_parents(relabeled) == 3
+        # depths are preserved under relabeling (as a multiset and pointwise
+        # through the permutation)
+        orig = depths_from_parents(figure1_parents)
+        new = depths_from_parents(relabeled)
+        assert np.array_equal(new[perm], orig)
+
+    def test_random_relabel_is_bijection(self, figure1_parents):
+        relabeled, perm = random_relabel_tree(figure1_parents, seed=3)
+        assert sorted(perm.tolist()) == list(range(6))
+        validate_parents(relabeled)
+
+    def test_relabel_requires_bijection(self, figure1_parents):
+        with pytest.raises(InvalidGraphError):
+            relabel_tree(figure1_parents, np.zeros(6, dtype=np.int64))
+
+
+class TestBruteForceLCA:
+    def test_figure1_queries(self, figure1_parents):
+        assert brute_force_lca(figure1_parents, 1, 5) == 2
+        assert brute_force_lca(figure1_parents, 1, 3) == 0
+        assert brute_force_lca(figure1_parents, 3, 4) == 0
+        assert brute_force_lca(figure1_parents, 2, 5) == 2
+        assert brute_force_lca(figure1_parents, 0, 5) == 0
+        assert brute_force_lca(figure1_parents, 4, 4) == 4
+
+    def test_out_of_range_rejected(self, figure1_parents):
+        with pytest.raises(InvalidGraphError):
+            brute_force_lca(figure1_parents, 0, 99)
+
+
+class TestQueryGeneration:
+    def test_shapes_and_ranges(self):
+        xs, ys = generate_random_queries(100, 500, seed=1)
+        assert xs.shape == ys.shape == (500,)
+        assert xs.min() >= 0 and xs.max() < 100
+        assert ys.min() >= 0 and ys.max() < 100
+
+    def test_deterministic_given_seed(self):
+        a = generate_random_queries(50, 10, seed=7)
+        b = generate_random_queries(50, 10, seed=7)
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(InvalidGraphError):
+            generate_random_queries(0, 10)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_random_queries(10, -1)

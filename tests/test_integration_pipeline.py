@@ -1,0 +1,114 @@
+"""End-to-end integration tests across the whole library.
+
+These exercise the same pipelines the examples and benchmarks use: generate a
+dataset, run every algorithm of a cast on the same instance with its own
+simulated device, verify the answers agree with independent oracles, and check
+that the modeled-cost bookkeeping is coherent.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GTX980,
+    XEON_X5650_SINGLE,
+    ExecutionContext,
+    InlabelLCA,
+    NaiveGPULCA,
+    SequentialInlabelLCA,
+    find_bridges_ck,
+    find_bridges_dfs,
+    find_bridges_hybrid,
+    find_bridges_tarjan_vishkin,
+)
+from repro.bridges import find_bridges_networkx
+from repro.euler import build_euler_tour, compute_tree_stats
+from repro.experiments import load_dataset, run_bridges, run_lca
+from repro.graphs import (
+    CSRGraph,
+    bfs_gpu,
+    generate_random_queries,
+    largest_connected_component,
+    parents_to_edgelist,
+    spanning_forest,
+)
+from repro.graphs.generators import grasp_tree, rmat_graph, road_graph
+from repro.lca import BinaryLiftingLCA
+
+
+class TestLCAPipeline:
+    def test_full_lca_pipeline_on_deep_tree(self):
+        n, q = 30_000, 10_000
+        parents = grasp_tree(n, 100, seed=1)
+        xs, ys = generate_random_queries(n, q, seed=2)
+
+        gpu_pre = ExecutionContext(GTX980, trace=True)
+        gpu = InlabelLCA(parents, ctx=gpu_pre)
+        gpu_query = ExecutionContext(GTX980)
+        answers = gpu.query(xs, ys, ctx=gpu_query)
+
+        # Independent oracle.
+        assert np.array_equal(answers, BinaryLiftingLCA(parents).query(xs, ys))
+        # Every other cast member returns the same answers.
+        assert np.array_equal(answers, SequentialInlabelLCA(parents).query(xs, ys))
+        assert np.array_equal(answers, NaiveGPULCA(parents).query(xs, ys))
+        # Cost bookkeeping: preprocessing dominated by the Euler tour phase,
+        # trace totals consistent with the reported elapsed time.
+        assert gpu_pre.breakdown()["preprocessing"] == pytest.approx(gpu_pre.elapsed)
+        assert sum(r.time_s for r in gpu_pre.records) == pytest.approx(gpu_pre.elapsed)
+        # The headline property: GPU Inlabel total beats single-core CPU total.
+        cpu_pre = ExecutionContext(XEON_X5650_SINGLE)
+        cpu = SequentialInlabelLCA(parents, ctx=cpu_pre)
+        cpu_query = ExecutionContext(XEON_X5650_SINGLE)
+        cpu.query(xs, ys, ctx=cpu_query)
+        assert gpu_pre.elapsed + gpu_query.elapsed < cpu_pre.elapsed + cpu_query.elapsed
+
+    def test_run_lca_on_registry_style_tree(self):
+        parents = grasp_tree(5000, 31, seed=3)
+        xs, ys = generate_random_queries(5000, 5000, seed=4)
+        records = run_lca(parents, xs, ys)
+        assert len(records) == 4
+
+
+class TestBridgePipeline:
+    def test_full_bridge_pipeline_on_road_stand_in(self):
+        graph = load_dataset("road-east-like", scale=0.05)
+        oracle = find_bridges_networkx(graph)
+        results = {}
+        for name, fn, spec in [
+            ("dfs", find_bridges_dfs, XEON_X5650_SINGLE),
+            ("tv", find_bridges_tarjan_vishkin, GTX980),
+            ("ck", find_bridges_ck, GTX980),
+            ("hybrid", find_bridges_hybrid, GTX980),
+        ]:
+            ctx = ExecutionContext(spec)
+            result = fn(graph, ctx=ctx)
+            assert result.agrees_with(oracle), name
+            results[name] = ctx.elapsed
+        # Paper's road-graph story: TV clearly beats CK.
+        assert results["tv"] < results["ck"]
+
+    def test_spanning_tree_plus_euler_tour_composition(self):
+        """The exact composition TV/hybrid rely on: CC spanning tree → Euler
+        tour rooting → statistics that agree with a BFS of the same tree."""
+        graph, _ = largest_connected_component(rmat_graph(9, 8, seed=5))
+        forest = spanning_forest(graph)
+        from repro.graphs import EdgeList
+
+        tree_edges = EdgeList(graph.u[forest.tree_edge_mask],
+                              graph.v[forest.tree_edge_mask], graph.num_nodes)
+        tour = build_euler_tour(tree_edges, root=0)
+        stats = compute_tree_stats(tour)
+        csr = CSRGraph.from_edgelist(tree_edges)
+        bfs = bfs_gpu(csr, 0)
+        # Same tree, same root: parents must agree up to both being valid
+        # orientations, i.e. identical (a tree has a unique orientation).
+        assert np.array_equal(stats.parent, bfs.parents)
+        assert np.array_equal(stats.depth, bfs.levels)
+
+    def test_run_bridges_on_two_families(self):
+        for name, scale in [("kron-s10", 0.25), ("road-west-like", 0.03)]:
+            graph = load_dataset(name, scale=scale)
+            records = run_bridges(graph, dataset=name)
+            assert len({r.num_bridges for r in records}) == 1
+            assert all(r.total_time_s > 0 for r in records)

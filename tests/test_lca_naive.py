@@ -1,0 +1,103 @@
+"""Tests for the naïve GPU LCA algorithm (Martins et al.)."""
+
+import numpy as np
+import pytest
+
+from repro.device import ExecutionContext, GTX980
+from repro.errors import InvalidQueryError
+from repro.graphs import depths_from_parents, generate_random_queries
+from repro.lca import BinaryLiftingLCA, NaiveGPULCA, brute_force_lca_batch, pointer_jump_levels
+
+from .conftest import TREE_KINDS, make_tree
+
+
+class TestLevelPreprocessing:
+    @pytest.mark.parametrize("kind", TREE_KINDS)
+    @pytest.mark.parametrize("n", [1, 2, 50, 400])
+    def test_levels_match_oracle(self, kind, n):
+        parents = make_tree(kind, n, seed=n + 3)
+        assert np.array_equal(pointer_jump_levels(parents), depths_from_parents(parents))
+
+    def test_jump_batch_does_not_change_result(self):
+        parents = make_tree("deep", 500, seed=4)
+        a = pointer_jump_levels(parents, jump_batch=1)
+        b = pointer_jump_levels(parents, jump_batch=5)
+        assert np.array_equal(a, b)
+
+    def test_jump_batch_reduces_launches(self):
+        parents = make_tree("path", 2000, seed=5)
+        unbatched = ExecutionContext(GTX980)
+        pointer_jump_levels(parents, jump_batch=1, ctx=unbatched)
+        batched = ExecutionContext(GTX980)
+        pointer_jump_levels(parents, jump_batch=5, ctx=batched)
+        assert batched.total_launches < unbatched.total_launches
+        # The arithmetic work is identical; only the sync count changes.
+        assert batched.total_ops == unbatched.total_ops
+
+    def test_invalid_jump_batch_rejected(self):
+        with pytest.raises(ValueError):
+            pointer_jump_levels(np.asarray([-1, 0]), jump_batch=0)
+
+
+class TestQueryCorrectness:
+    @pytest.mark.parametrize("kind", TREE_KINDS)
+    @pytest.mark.parametrize("n", [1, 2, 3, 20, 150])
+    def test_against_brute_force(self, kind, n):
+        parents = make_tree(kind, n, seed=n + 29)
+        xs, ys = generate_random_queries(n, 60, seed=n)
+        expected = brute_force_lca_batch(parents, xs, ys)
+        algo = NaiveGPULCA(parents)
+        assert np.array_equal(algo.query(xs, ys), expected)
+
+    def test_against_binary_lifting_on_large_tree(self):
+        parents = make_tree("shallow", 5000, seed=31)
+        xs, ys = generate_random_queries(5000, 4000, seed=32)
+        expected = BinaryLiftingLCA(parents).query(xs, ys)
+        assert np.array_equal(NaiveGPULCA(parents).query(xs, ys), expected)
+
+    def test_identical_nodes(self, figure1_parents):
+        algo = NaiveGPULCA(figure1_parents)
+        nodes = np.arange(6)
+        assert np.array_equal(algo.query(nodes, nodes), nodes)
+
+    def test_empty_batch(self, figure1_parents):
+        algo = NaiveGPULCA(figure1_parents)
+        assert algo.query(np.asarray([], dtype=np.int64),
+                          np.asarray([], dtype=np.int64)).size == 0
+
+    def test_out_of_range_rejected(self, figure1_parents):
+        algo = NaiveGPULCA(figure1_parents)
+        with pytest.raises(InvalidQueryError):
+            algo.query(np.asarray([99]), np.asarray([0]))
+
+    def test_mismatched_shapes_rejected(self, figure1_parents):
+        algo = NaiveGPULCA(figure1_parents)
+        with pytest.raises(InvalidQueryError):
+            algo.query(np.asarray([0, 1]), np.asarray([0]))
+
+
+class TestCostCharacteristics:
+    def test_query_cost_grows_with_depth(self):
+        """The defining weakness the paper exploits: naïve query cost is
+        proportional to path length, so deep trees are catastrophically slower
+        (Figures 3d and 5)."""
+        n, q = 4000, 4000
+        xs, ys = generate_random_queries(n, q, seed=40)
+        shallow_ctx = ExecutionContext(GTX980)
+        NaiveGPULCA(make_tree("shallow", n, seed=41)).query(xs, ys, ctx=shallow_ctx)
+        deep_ctx = ExecutionContext(GTX980)
+        NaiveGPULCA(make_tree("path", n, seed=41)).query(xs, ys, ctx=deep_ctx)
+        assert deep_ctx.elapsed > 20 * shallow_ctx.elapsed
+
+    def test_preprocessing_cheaper_than_inlabel(self):
+        """The flip side: the naïve algorithm's preprocessing (levels only) is
+        much cheaper than the full Euler-tour Inlabel preprocessing
+        (Figure 3a)."""
+        from repro.lca import InlabelLCA
+
+        parents = make_tree("shallow", 20_000, seed=42)
+        naive_ctx = ExecutionContext(GTX980)
+        NaiveGPULCA(parents, ctx=naive_ctx)
+        inlabel_ctx = ExecutionContext(GTX980)
+        InlabelLCA(parents, ctx=inlabel_ctx)
+        assert naive_ctx.elapsed < inlabel_ctx.elapsed

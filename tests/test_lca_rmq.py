@@ -1,0 +1,77 @@
+"""Tests for the RMQ-based LCA baseline."""
+
+import numpy as np
+import pytest
+
+from repro.device import ExecutionContext, XEON_X5650_SINGLE
+from repro.errors import InvalidQueryError
+from repro.graphs import generate_random_queries
+from repro.lca import BinaryLiftingLCA, RMQLCA, brute_force_lca_batch
+
+from .conftest import TREE_KINDS, make_tree
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("backend", ["segment-tree", "sparse-table"])
+    @pytest.mark.parametrize("kind", TREE_KINDS)
+    @pytest.mark.parametrize("n", [1, 2, 3, 25, 130])
+    def test_against_brute_force(self, backend, kind, n):
+        parents = make_tree(kind, n, seed=n + 57)
+        xs, ys = generate_random_queries(n, 60, seed=n)
+        expected = brute_force_lca_batch(parents, xs, ys)
+        algo = RMQLCA(parents, backend=backend)
+        assert np.array_equal(algo.query(xs, ys), expected)
+
+    def test_against_binary_lifting_large(self):
+        parents = make_tree("deep", 3000, seed=60)
+        xs, ys = generate_random_queries(3000, 2500, seed=61)
+        expected = BinaryLiftingLCA(parents).query(xs, ys)
+        assert np.array_equal(RMQLCA(parents).query(xs, ys), expected)
+
+    def test_backends_agree(self):
+        parents = make_tree("scale-free", 800, seed=62)
+        xs, ys = generate_random_queries(800, 500, seed=63)
+        a = RMQLCA(parents, backend="segment-tree").query(xs, ys)
+        b = RMQLCA(parents, backend="sparse-table").query(xs, ys)
+        assert np.array_equal(a, b)
+
+    def test_identical_nodes(self, figure1_parents):
+        algo = RMQLCA(figure1_parents)
+        nodes = np.arange(6)
+        assert np.array_equal(algo.query(nodes, nodes), nodes)
+
+    def test_out_of_range_rejected(self, figure1_parents):
+        with pytest.raises(InvalidQueryError):
+            RMQLCA(figure1_parents).query(np.asarray([0]), np.asarray([6]))
+
+    def test_mismatched_shapes_rejected(self, figure1_parents):
+        with pytest.raises(InvalidQueryError):
+            RMQLCA(figure1_parents).query(np.asarray([0, 1]), np.asarray([0]))
+
+
+class TestPreliminaryExperimentShape:
+    """The §3.1 preliminary comparison: RMQ preprocesses faster, Inlabel
+    queries faster."""
+
+    def test_rmq_preprocessing_faster_than_inlabel(self):
+        from repro.lca import SequentialInlabelLCA
+
+        parents = make_tree("shallow", 20_000, seed=64)
+        rmq_ctx = ExecutionContext(XEON_X5650_SINGLE)
+        RMQLCA(parents, ctx=rmq_ctx)
+        inlabel_ctx = ExecutionContext(XEON_X5650_SINGLE)
+        SequentialInlabelLCA(parents, ctx=inlabel_ctx)
+        assert rmq_ctx.elapsed < inlabel_ctx.elapsed
+
+    def test_inlabel_queries_faster_than_rmq(self):
+        from repro.lca import SequentialInlabelLCA
+
+        parents = make_tree("shallow", 20_000, seed=65)
+        xs, ys = generate_random_queries(20_000, 20_000, seed=66)
+        rmq = RMQLCA(parents)
+        inlabel = SequentialInlabelLCA(parents)
+        rmq_ctx = ExecutionContext(XEON_X5650_SINGLE)
+        rmq.query(xs, ys, ctx=rmq_ctx)
+        inlabel_ctx = ExecutionContext(XEON_X5650_SINGLE)
+        inlabel.query(xs, ys, ctx=inlabel_ctx)
+        assert inlabel_ctx.elapsed < rmq_ctx.elapsed

@@ -1,0 +1,59 @@
+"""Tests for stream compaction primitives."""
+
+import numpy as np
+import pytest
+
+from repro.primitives import compact, compact_many, nonzero_indices
+
+
+class TestCompact:
+    def test_keeps_masked_elements_in_order(self):
+        values = np.asarray([10, 20, 30, 40])
+        mask = np.asarray([True, False, True, False])
+        assert compact(values, mask).tolist() == [10, 30]
+
+    def test_all_false(self):
+        assert compact(np.arange(5), np.zeros(5, dtype=bool)).size == 0
+
+    def test_all_true(self):
+        values = np.arange(5)
+        assert np.array_equal(compact(values, np.ones(5, dtype=bool)), values)
+
+    def test_mismatched_mask_rejected(self):
+        with pytest.raises(ValueError):
+            compact(np.arange(3), np.asarray([True]))
+
+    def test_charges_cost(self, gpu_ctx):
+        compact(np.arange(100), np.ones(100, dtype=bool), ctx=gpu_ctx)
+        assert gpu_ctx.elapsed > 0
+
+
+class TestCompactMany:
+    def test_shared_mask(self):
+        a = np.asarray([1, 2, 3])
+        b = np.asarray([10, 20, 30])
+        mask = np.asarray([True, False, True])
+        ca, cb = compact_many([a, b], mask)
+        assert ca.tolist() == [1, 3]
+        assert cb.tolist() == [10, 30]
+
+    def test_empty_array_list(self):
+        assert compact_many([], np.asarray([True, False])) == ()
+
+    def test_misaligned_array_rejected(self):
+        with pytest.raises(ValueError):
+            compact_many([np.arange(3), np.arange(4)], np.ones(3, dtype=bool))
+
+
+class TestNonzeroIndices:
+    def test_matches_flatnonzero(self):
+        rng = np.random.default_rng(0)
+        mask = rng.random(1000) < 0.3
+        assert np.array_equal(nonzero_indices(mask), np.flatnonzero(mask))
+
+    def test_empty_mask(self):
+        assert nonzero_indices(np.zeros(10, dtype=bool)).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            nonzero_indices(np.zeros((2, 2), dtype=bool))

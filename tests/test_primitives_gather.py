@@ -1,0 +1,46 @@
+"""Tests for gather / scatter / elementwise instrumented wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.primitives import elementwise, gather, scatter
+
+
+class TestGather:
+    def test_indexing(self):
+        out = gather(np.asarray([10, 20, 30]), np.asarray([2, 0, 2]))
+        assert out.tolist() == [30, 10, 30]
+
+    def test_empty_indices(self):
+        assert gather(np.arange(5), np.asarray([], dtype=np.int64)).size == 0
+
+    def test_charges_random_access(self, gpu_ctx):
+        gather(np.arange(1000), np.arange(1000), ctx=gpu_ctx)
+        assert gpu_ctx.records[0].random_access is True
+
+
+class TestScatter:
+    def test_in_place_write(self):
+        target = np.zeros(5, dtype=np.int64)
+        out = scatter(target, np.asarray([1, 3]), np.asarray([7, 9]))
+        assert out is target
+        assert target.tolist() == [0, 7, 0, 9, 0]
+
+    def test_broadcast_scalar_value(self):
+        target = np.zeros(4, dtype=np.int64)
+        scatter(target, np.asarray([0, 2]), 5)
+        assert target.tolist() == [5, 0, 5, 0]
+
+    def test_charges_cost(self, gpu_ctx):
+        scatter(np.zeros(10, dtype=np.int64), np.asarray([0]), 1, ctx=gpu_ctx)
+        assert gpu_ctx.elapsed > 0
+
+
+class TestElementwise:
+    def test_returns_modeled_time(self, gpu_ctx):
+        t = elementwise(10_000, ops_per_element=2.0, ctx=gpu_ctx)
+        assert t > 0
+        assert gpu_ctx.elapsed == pytest.approx(t)
+
+    def test_zero_elements_still_valid(self, gpu_ctx):
+        assert elementwise(0, ctx=gpu_ctx) >= 0

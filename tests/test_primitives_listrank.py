@@ -1,0 +1,133 @@
+"""Tests for list-ranking algorithms (Wyllie, Wei–JaJa, sequential)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidGraphError
+from repro.primitives import (
+    list_rank,
+    order_from_ranks,
+    sequential_rank,
+    wei_jaja_rank,
+    wyllie_rank,
+)
+
+ALGORITHMS = [sequential_rank, wyllie_rank, wei_jaja_rank]
+
+
+def make_list(n: int, seed: int):
+    """Random linked list over n elements; returns (succ, head, expected_rank)."""
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    succ = np.full(n, -1, dtype=np.int64)
+    succ[perm[:-1]] = perm[1:]
+    expected = np.empty(n, dtype=np.int64)
+    expected[perm] = np.arange(n)
+    return succ, int(perm[0]), expected
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 64, 65, 1000])
+    def test_random_lists(self, algorithm, n):
+        succ, head, expected = make_list(n, seed=n)
+        assert np.array_equal(algorithm(succ, head), expected)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_identity_list(self, algorithm):
+        # 0 -> 1 -> 2 -> ... -> n-1
+        n = 50
+        succ = np.arange(1, n + 1, dtype=np.int64)
+        succ[-1] = -1
+        assert np.array_equal(algorithm(succ, 0), np.arange(n))
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_reversed_list(self, algorithm):
+        n = 50
+        succ = np.arange(-1, n - 1, dtype=np.int64)
+        assert np.array_equal(algorithm(succ, n - 1), np.arange(n)[::-1])
+
+    def test_wei_jaja_matches_wyllie_on_many_seeds(self):
+        for seed in range(10):
+            succ, head, _ = make_list(257, seed=seed)
+            assert np.array_equal(wei_jaja_rank(succ, head, seed=seed),
+                                  wyllie_rank(succ, head))
+
+    @pytest.mark.parametrize("splitters", [1, 2, 5, 64, 300])
+    def test_wei_jaja_any_splitter_count(self, splitters):
+        succ, head, expected = make_list(300, seed=3)
+        out = wei_jaja_rank(succ, head, num_splitters=splitters)
+        assert np.array_equal(out, expected)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_empty_list_rejected(self, algorithm):
+        with pytest.raises(InvalidGraphError):
+            algorithm(np.asarray([], dtype=np.int64), 0)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_head_out_of_range_rejected(self, algorithm):
+        with pytest.raises(InvalidGraphError):
+            algorithm(np.asarray([-1]), 5)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_bad_successor_rejected(self, algorithm):
+        with pytest.raises(InvalidGraphError):
+            algorithm(np.asarray([7]), 0)
+
+    @pytest.mark.parametrize("algorithm", [sequential_rank, wei_jaja_rank])
+    def test_unreachable_elements_detected(self, algorithm):
+        # Two disjoint lists: 0 -> 1, 2 -> 3; ranking from 0 must fail.
+        succ = np.asarray([1, -1, 3, -1], dtype=np.int64)
+        with pytest.raises(InvalidGraphError):
+            algorithm(succ, 0)
+
+    def test_cycle_detected_sequential(self):
+        succ = np.asarray([1, 2, 0], dtype=np.int64)
+        with pytest.raises(InvalidGraphError):
+            sequential_rank(succ, 0)
+
+
+class TestDispatcher:
+    def test_method_names(self):
+        succ, head, expected = make_list(40, seed=9)
+        for method in ("wei-jaja", "weijaja", "wyllie", "sequential", "WEI_JAJA"):
+            assert np.array_equal(list_rank(succ, head, method=method), expected)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            list_rank(np.asarray([-1]), 0, method="quantum")
+
+
+class TestCostAccounting:
+    def test_wyllie_charges_log_rounds(self, gpu_ctx):
+        succ, head, _ = make_list(1024, seed=0)
+        wyllie_rank(succ, head, ctx=gpu_ctx)
+        # Wyllie needs ~log2(n) rounds of kernels.
+        assert 8 <= gpu_ctx.total_launches <= 16
+
+    def test_wei_jaja_charges_fewer_launches_than_wyllie(self):
+        from repro.device import ExecutionContext, GTX980
+
+        succ, head, _ = make_list(4096, seed=1)
+        wy = ExecutionContext(GTX980)
+        wyllie_rank(succ, head, ctx=wy)
+        wj = ExecutionContext(GTX980)
+        wei_jaja_rank(succ, head, ctx=wj)
+        assert wj.total_launches < wy.total_launches
+        # Wei-JaJa is work-optimal: fewer total operations than Wyllie's n log n.
+        assert wj.total_ops < wy.total_ops
+
+
+class TestOrderFromRanks:
+    def test_inverse_permutation(self):
+        ranks = np.asarray([2, 0, 1])
+        assert order_from_ranks(ranks).tolist() == [1, 2, 0]
+
+    def test_roundtrip_with_rank(self):
+        succ, head, expected = make_list(128, seed=5)
+        ranks = wei_jaja_rank(succ, head)
+        order = order_from_ranks(ranks)
+        assert np.array_equal(ranks[order], np.arange(128))
+        assert np.array_equal(order[expected], np.arange(128))

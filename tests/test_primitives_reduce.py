@@ -1,0 +1,94 @@
+"""Tests for reduction primitives."""
+
+import numpy as np
+import pytest
+
+from repro.primitives import count_by_key, reduce_array, segreduce_by_key
+
+
+class TestReduceArray:
+    @pytest.mark.parametrize("op,expected", [("sum", 10), ("min", 1), ("max", 4)])
+    def test_ops(self, op, expected):
+        assert reduce_array(np.asarray([1, 2, 3, 4]), op) == expected
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_array(np.asarray([1]), "mean")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            reduce_array(np.asarray([], dtype=np.int64), "sum")
+
+    def test_charges_cost(self, gpu_ctx):
+        reduce_array(np.arange(100), "sum", ctx=gpu_ctx)
+        assert gpu_ctx.elapsed > 0
+
+
+class TestSegreduceByKey:
+    def test_min_by_key(self):
+        keys = np.asarray([0, 1, 0, 2, 1])
+        vals = np.asarray([5, 3, 2, 9, 1])
+        out = segreduce_by_key(keys, vals, 3, "min")
+        assert out.tolist() == [2, 1, 9]
+
+    def test_max_by_key(self):
+        keys = np.asarray([0, 1, 0, 2, 1])
+        vals = np.asarray([5, 3, 2, 9, 1])
+        out = segreduce_by_key(keys, vals, 3, "max")
+        assert out.tolist() == [5, 3, 9]
+
+    def test_sum_by_key(self):
+        keys = np.asarray([0, 0, 1])
+        vals = np.asarray([1, 2, 3])
+        out = segreduce_by_key(keys, vals, 2, "sum", identity=0)
+        assert out.tolist() == [3, 3]
+
+    def test_empty_segments_get_identity(self):
+        keys = np.asarray([2])
+        vals = np.asarray([7])
+        out = segreduce_by_key(keys, vals, 4, "min", identity=999)
+        assert out.tolist() == [999, 999, 7, 999]
+
+    def test_default_identity_for_min_is_type_max(self):
+        out = segreduce_by_key(np.asarray([], dtype=np.int64),
+                               np.asarray([], dtype=np.int64), 2, "min")
+        assert out.tolist() == [np.iinfo(np.int64).max] * 2
+
+    def test_unsorted_keys_supported(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 10, size=1000)
+        vals = rng.integers(-100, 100, size=1000)
+        out = segreduce_by_key(keys, vals, 10, "min")
+        for k in range(10):
+            expected = vals[keys == k].min() if (keys == k).any() else np.iinfo(np.int64).max
+            assert out[k] == expected
+
+    def test_out_of_range_keys_rejected(self):
+        with pytest.raises(ValueError):
+            segreduce_by_key(np.asarray([5]), np.asarray([1]), 3, "min")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            segreduce_by_key(np.asarray([0, 1]), np.asarray([1]), 2, "min")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            segreduce_by_key(np.asarray([0]), np.asarray([1]), 1, "median")
+
+
+class TestCountByKey:
+    def test_histogram(self):
+        out = count_by_key(np.asarray([0, 2, 2, 1, 2]), 4)
+        assert out.tolist() == [1, 1, 3, 0]
+
+    def test_empty(self):
+        assert count_by_key(np.asarray([], dtype=np.int64), 3).tolist() == [0, 0, 0]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            count_by_key(np.asarray([3]), 3)
+
+    def test_matches_bincount(self):
+        rng = np.random.default_rng(4)
+        keys = rng.integers(0, 50, size=2000)
+        assert np.array_equal(count_by_key(keys, 50), np.bincount(keys, minlength=50))

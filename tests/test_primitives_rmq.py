@@ -1,0 +1,138 @@
+"""Tests for range-minimum/maximum query structures."""
+
+import numpy as np
+import pytest
+
+from repro.primitives import (
+    SegmentTreeRMQ,
+    SparseTableRMQ,
+    build_rmq,
+    range_minmax_over_subtrees,
+)
+
+BACKENDS = [SegmentTreeRMQ, SparseTableRMQ]
+
+
+def brute_force(values, lo, hi, op):
+    fn = np.min if op == "min" else np.max
+    return np.asarray([
+        fn(values[a:b + 1]) if a <= b else None for a, b in zip(lo, hi)
+    ])
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("op", ["min", "max"])
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 16, 17, 100, 257])
+    def test_random_queries(self, backend, op, n):
+        rng = np.random.default_rng(n)
+        values = rng.integers(-1000, 1000, size=n)
+        rmq = backend(values, op)
+        q = 200
+        lo = rng.integers(0, n, size=q)
+        hi = rng.integers(0, n, size=q)
+        lo, hi = np.minimum(lo, hi), np.maximum(lo, hi)
+        expected = brute_force(values, lo, hi, op)
+        got = rmq.query(lo, hi)
+        assert np.array_equal(got, expected.astype(got.dtype))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_full_range(self, backend):
+        values = np.asarray([5, -2, 9, 0])
+        rmq = backend(values, "min")
+        assert rmq.query(np.asarray([0]), np.asarray([3]))[0] == -2
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_element_ranges(self, backend):
+        values = np.asarray([3, 1, 4, 1, 5])
+        rmq = backend(values, "max")
+        idx = np.arange(5)
+        assert np.array_equal(rmq.query(idx, idx), values)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_range_returns_identity(self, backend):
+        values = np.asarray([3, 1, 4])
+        rmq = backend(values, "min")
+        out = rmq.query(np.asarray([2]), np.asarray([1]))
+        assert out[0] == rmq.identity
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_scalar_query(self, backend):
+        rmq = backend(np.asarray([7, 3, 9]), "min")
+        assert rmq.query(0, 2) == 3
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_float_values(self, backend):
+        values = np.asarray([0.5, -1.5, 2.25])
+        rmq = backend(values, "min")
+        assert rmq.query(0, 2) == -1.5
+
+
+class TestValidation:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_empty_input_rejected(self, backend):
+        with pytest.raises(ValueError):
+            backend(np.asarray([], dtype=np.int64), "min")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_bad_op_rejected(self, backend):
+        with pytest.raises(ValueError):
+            backend(np.asarray([1]), "sum")
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_out_of_bounds_query_rejected(self, backend):
+        rmq = backend(np.asarray([1, 2, 3]), "min")
+        with pytest.raises(IndexError):
+            rmq.query(np.asarray([0]), np.asarray([3]))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_mismatched_query_shapes_rejected(self, backend):
+        rmq = backend(np.asarray([1, 2, 3]), "min")
+        with pytest.raises(ValueError):
+            rmq.query(np.asarray([0, 1]), np.asarray([1]))
+
+
+class TestBuildRmq:
+    def test_backend_dispatch(self):
+        values = np.asarray([1, 2, 3])
+        assert isinstance(build_rmq(values, backend="segment-tree"), SegmentTreeRMQ)
+        assert isinstance(build_rmq(values, backend="sparse-table"), SparseTableRMQ)
+        assert isinstance(build_rmq(values, backend="segtree"), SegmentTreeRMQ)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            build_rmq(np.asarray([1]), backend="fenwick")
+
+
+class TestSubtreeHelper:
+    def test_range_minmax_over_subtrees(self):
+        values = np.asarray([4, 7, 1, 9, 3])
+        starts = np.asarray([0, 2])
+        ends = np.asarray([4, 3])
+        lows, highs = range_minmax_over_subtrees(values, starts, ends)
+        assert lows.tolist() == [1, 1]
+        assert highs.tolist() == [9, 9]
+
+
+class TestCostAccounting:
+    def test_build_batches_small_levels_into_one_launch(self, gpu_ctx):
+        # All levels of a 1024-leaf tree are below the small-level threshold,
+        # so the whole build is a single cleanup kernel.
+        SegmentTreeRMQ(np.arange(1024), "min", ctx=gpu_ctx)
+        assert gpu_ctx.total_launches == 1
+
+    def test_build_charges_one_launch_per_large_level(self):
+        from repro.device import ExecutionContext, GTX980
+
+        ctx = ExecutionContext(GTX980)
+        SegmentTreeRMQ(np.arange(1 << 14), "min", ctx=ctx)
+        # Levels of size 8192 and 4096 get their own launches; the rest share one.
+        assert ctx.total_launches == 3
+
+    def test_sparse_table_uses_more_memory_but_single_query_round(self, gpu_ctx):
+        values = np.arange(1 << 12)
+        table = SparseTableRMQ(values, "min")
+        tree = SegmentTreeRMQ(values, "min")
+        assert table.table.nbytes > tree.tree.nbytes
+        table.query(np.asarray([0]), np.asarray([100]), ctx=gpu_ctx)
+        assert gpu_ctx.total_launches == 1

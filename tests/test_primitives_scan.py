@@ -1,0 +1,102 @@
+"""Tests for scan primitives."""
+
+import numpy as np
+import pytest
+
+from repro.primitives import (
+    add_scan_offsets,
+    exclusive_scan,
+    inclusive_scan,
+    segmented_inclusive_scan,
+)
+
+
+class TestInclusiveScan:
+    def test_simple(self):
+        out = inclusive_scan(np.asarray([1, 2, 3, 4]))
+        assert out.tolist() == [1, 3, 6, 10]
+
+    def test_matches_numpy_cumsum(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(-50, 50, size=1000)
+        assert np.array_equal(inclusive_scan(values), np.cumsum(values))
+
+    def test_empty(self):
+        assert inclusive_scan(np.asarray([], dtype=np.int64)).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            inclusive_scan(np.zeros((3, 3)))
+
+    def test_charges_cost(self, gpu_ctx):
+        inclusive_scan(np.arange(1000), ctx=gpu_ctx)
+        assert gpu_ctx.elapsed > 0
+        assert gpu_ctx.total_launches == 2
+
+
+class TestExclusiveScan:
+    def test_simple(self):
+        out = exclusive_scan(np.asarray([1, 2, 3, 4]))
+        assert out.tolist() == [0, 1, 3, 6]
+
+    def test_relationship_with_inclusive(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 10, size=500)
+        inc = inclusive_scan(values)
+        exc = exclusive_scan(values)
+        assert np.array_equal(exc[1:], inc[:-1])
+        assert exc[0] == 0
+
+    def test_empty(self):
+        assert exclusive_scan(np.asarray([], dtype=np.int64)).size == 0
+
+    def test_single_element(self):
+        assert exclusive_scan(np.asarray([7])).tolist() == [0]
+
+    def test_float_dtype_preserved(self):
+        out = exclusive_scan(np.asarray([1.5, 2.5]))
+        assert out.dtype == np.float64
+        assert out.tolist() == [0.0, 1.5]
+
+
+class TestSegmentedScan:
+    def test_restarts_at_boundaries(self):
+        values = np.asarray([1, 1, 1, 1, 1, 1])
+        segments = np.asarray([0, 0, 1, 1, 1, 2])
+        out = segmented_inclusive_scan(values, segments)
+        assert out.tolist() == [1, 2, 1, 2, 3, 1]
+
+    def test_negative_values(self):
+        # Depth computation on the Euler tour uses +1/-1 weights.
+        values = np.asarray([1, -1, 1, 1, -1, -1])
+        segments = np.asarray([0, 0, 0, 1, 1, 1])
+        out = segmented_inclusive_scan(values, segments)
+        assert out.tolist() == [1, 0, 1, 1, 0, -1]
+
+    def test_single_segment_equals_plain_scan(self):
+        rng = np.random.default_rng(2)
+        values = rng.integers(-5, 5, size=200)
+        segments = np.zeros(200, dtype=np.int64)
+        assert np.array_equal(segmented_inclusive_scan(values, segments), np.cumsum(values))
+
+    def test_empty(self):
+        empty = np.asarray([], dtype=np.int64)
+        assert segmented_inclusive_scan(empty, empty).size == 0
+
+    def test_decreasing_segments_rejected(self):
+        with pytest.raises(ValueError):
+            segmented_inclusive_scan(np.asarray([1, 2]), np.asarray([1, 0]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            segmented_inclusive_scan(np.asarray([1, 2]), np.asarray([0]))
+
+
+class TestAddScanOffsets:
+    def test_with_initial(self):
+        out = add_scan_offsets(np.asarray([2, 3, 4]), initial=10)
+        assert out.tolist() == [10, 12, 15]
+
+    def test_without_initial_is_exclusive_scan(self):
+        values = np.asarray([5, 1, 2])
+        assert np.array_equal(add_scan_offsets(values), exclusive_scan(values))

@@ -1,0 +1,97 @@
+"""Tests for sorting primitives."""
+
+import numpy as np
+import pytest
+
+from repro.primitives import argsort_values, sort_key_value, sort_pairs, sort_values
+
+
+class TestSortValues:
+    def test_sorted_output(self):
+        out = sort_values(np.asarray([3, 1, 2]))
+        assert out.tolist() == [1, 2, 3]
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 10**6, size=5000)
+        assert np.array_equal(sort_values(values), np.sort(values))
+
+    def test_empty(self):
+        assert sort_values(np.asarray([], dtype=np.int64)).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            sort_values(np.zeros((2, 2)))
+
+    def test_charges_more_for_wider_keys(self, gpu_ctx):
+        from repro.device import ExecutionContext, GTX980
+
+        small_ctx = ExecutionContext(GTX980)
+        sort_values(np.arange(1000) % 100, ctx=small_ctx)
+        wide_ctx = ExecutionContext(GTX980)
+        sort_values(np.arange(1000) * 10**6, ctx=wide_ctx)
+        assert wide_ctx.total_launches > small_ctx.total_launches
+
+
+class TestArgsortValues:
+    def test_stable_and_correct(self):
+        values = np.asarray([2, 1, 2, 0])
+        order = argsort_values(values)
+        assert values[order].tolist() == [0, 1, 2, 2]
+        # stability: the two 2s keep their original relative order
+        assert order.tolist() == [3, 1, 0, 2]
+
+
+class TestSortPairs:
+    def test_lexicographic_order(self):
+        first = np.asarray([2, 0, 2, 1])
+        second = np.asarray([1, 5, 0, 3])
+        sf, ss, order = sort_pairs(first, second)
+        pairs = list(zip(sf.tolist(), ss.tolist()))
+        assert pairs == sorted(zip(first.tolist(), second.tolist()))
+        assert np.array_equal(first[order], sf)
+        assert np.array_equal(second[order], ss)
+
+    def test_order_is_permutation(self):
+        rng = np.random.default_rng(1)
+        first = rng.integers(0, 100, size=1000)
+        second = rng.integers(0, 100, size=1000)
+        _, _, order = sort_pairs(first, second)
+        assert np.array_equal(np.sort(order), np.arange(1000))
+
+    def test_matches_lexsort(self):
+        rng = np.random.default_rng(2)
+        first = rng.integers(0, 50, size=500)
+        second = rng.integers(0, 50, size=500)
+        sf, ss, _ = sort_pairs(first, second)
+        ref = np.lexsort((second, first))
+        assert np.array_equal(sf, first[ref])
+        assert np.array_equal(ss, second[ref])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sort_pairs(np.asarray([1, 2]), np.asarray([1]))
+
+    def test_empty(self):
+        sf, ss, order = sort_pairs(np.asarray([], dtype=np.int64),
+                                   np.asarray([], dtype=np.int64))
+        assert sf.size == ss.size == order.size == 0
+
+
+class TestSortKeyValue:
+    def test_values_follow_keys(self):
+        keys = np.asarray([3, 1, 2])
+        values = np.asarray([30, 10, 20])
+        sk, sv = sort_key_value(keys, values)
+        assert sk.tolist() == [1, 2, 3]
+        assert sv.tolist() == [10, 20, 30]
+
+    def test_stability(self):
+        keys = np.asarray([1, 1, 0])
+        values = np.asarray([100, 200, 300])
+        _, sv = sort_key_value(keys, values)
+        assert sv.tolist() == [300, 100, 200]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            sort_key_value(np.asarray([1, 2]), np.asarray([1]))
