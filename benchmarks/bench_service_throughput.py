@@ -1,0 +1,30 @@
+"""Service throughput: offered load × micro-batch policy (beyond the paper).
+
+Extends the Figure 6 batch-size experiment from replayed pre-formed batches to
+an online serving scenario: queries arrive one at a time at a fixed offered
+rate, the micro-batch scheduler coalesces them, and the cost-model dispatcher
+routes every batch to the cheaper device.  The expected shape mirrors Fig. 6:
+pass-through serving (batch<=1) plateaus at the single-core CPU rate, while
+the micro-batching policies track the offered load until the GPU saturates.
+"""
+
+from repro.experiments import format_series
+from repro.experiments.service_experiments import offered_load_sweep
+
+from bench_util import BENCH_SCALE, publish, run_once
+
+
+def test_service_throughput_sweep(benchmark):
+    n = int(65_536 * BENCH_SCALE)
+    q = int(16_384 * BENCH_SCALE)
+    rows = run_once(benchmark, offered_load_sweep, n=n, q=q,
+                    rates_qps=(1e4, 1e5, 1e6, 1e7, 1e8))
+    publish(benchmark, "service_throughput_sweep",
+            format_series(rows, x="offered_qps", y="throughput_qps",
+                          series="policy",
+                          title=f"Service: delivered queries/s vs offered load "
+                                f"({n}-node tree, {q} queries, per policy)"))
+    publish(benchmark, "service_latency_p99",
+            format_series(rows, x="offered_qps", y="latency_p99_us",
+                          series="policy",
+                          title="Service: p99 modeled latency (us) vs offered load"))

@@ -17,9 +17,25 @@ Quickstart
 >>> algo = lca.InlabelLCA(parents, ctx=ctx)
 >>> int(algo.query(np.array([5]), np.array([7]))[0]) < 1000
 True
+
+Serving queries
+---------------
+The :mod:`repro.service` subsystem turns the library into a query server:
+registered trees get LRU-cached index artifacts, individually submitted
+queries are coalesced into micro-batches on a deterministic simulated clock,
+and each batch is dispatched to the backend (CPU or simulated GPU) the device
+cost model prices cheapest for its size.
+
+>>> from repro.service import BatchPolicy, LCAQueryService
+>>> svc = LCAQueryService(policy=BatchPolicy(max_batch_size=256, max_wait_s=1e-3))
+>>> svc.register_tree("demo", parents)
+>>> tickets = [svc.submit("demo", 5, 7, at=i * 1e-6) for i in range(3)]
+>>> svc.drain()
+>>> svc.results(tickets).tolist() == [svc.result(tickets[0])] * 3
+True
 """
 
-from . import bridges, device, errors, euler, experiments, graphs, lca, primitives
+from . import bridges, device, errors, euler, experiments, graphs, lca, primitives, service
 from .bridges import (
     BridgeResult,
     find_bridges_ck,
@@ -35,12 +51,21 @@ from .errors import (
     InvalidQueryError,
     NotATreeError,
     ReproError,
+    ServiceError,
 )
 from .euler import EulerTour, TreeStats, build_euler_tour, compute_tree_stats
 from .graphs import CSRGraph, EdgeList
 from .lca import InlabelLCA, NaiveGPULCA, RMQLCA, SequentialInlabelLCA
+from .service import (
+    BatchPolicy,
+    CostModelDispatcher,
+    ForestStore,
+    IndexRegistry,
+    LCAQueryService,
+    ServiceStats,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -52,6 +77,7 @@ __all__ = [
     "lca",
     "bridges",
     "experiments",
+    "service",
     "errors",
     # most-used classes and functions
     "DeviceSpec",
@@ -74,6 +100,13 @@ __all__ = [
     "find_bridges_ck",
     "find_bridges_hybrid",
     "find_bridges_dfs",
+    # query serving
+    "LCAQueryService",
+    "ForestStore",
+    "IndexRegistry",
+    "BatchPolicy",
+    "CostModelDispatcher",
+    "ServiceStats",
     # errors
     "ReproError",
     "InvalidGraphError",
@@ -81,4 +114,5 @@ __all__ = [
     "InvalidQueryError",
     "DeviceError",
     "ConfigurationError",
+    "ServiceError",
 ]

@@ -13,6 +13,13 @@ The paper's conclusion, which the benchmarks here reproduce, is that the
 hybrid is usually faster than CK but never beats TV: both the hybrid and TV
 pay for the spanning tree and the Euler tour, after which TV's remaining
 detect phase is cheaper than the hybrid's marking phase.
+
+The hybrid is a *hand-rolled* cost-driven substitution: one phase known to be
+expensive is swapped for a cheaper equivalent, decided once, offline.  The
+serving subsystem generalizes the idea — see
+:class:`repro.service.dispatch.CostModelDispatcher`, which makes the same
+kind of substitution per batch, online, by pricing every candidate backend
+with the device roofline model.
 """
 
 from __future__ import annotations

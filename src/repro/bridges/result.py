@@ -48,3 +48,8 @@ class BridgeResult:
     def agrees_with(self, other: "BridgeResult") -> bool:
         """True when both results mark exactly the same edges as bridges."""
         return bool(np.array_equal(self.bridge_mask, other.bridge_mask))
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the result mask."""
+        return int(self.bridge_mask.nbytes)

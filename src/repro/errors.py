@@ -40,3 +40,12 @@ class DeviceError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised when an experiment or dataset configuration is inconsistent."""
+
+
+class ServiceError(ReproError):
+    """Raised for misuse of the query-serving subsystem (:mod:`repro.service`).
+
+    Typical causes: submitting queries against an unregistered dataset, moving
+    the simulated clock backwards, or asking for the result of a ticket whose
+    batch has not been flushed yet.
+    """

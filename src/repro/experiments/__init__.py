@@ -1,6 +1,6 @@
 """Experiment harness: dataset registry, per-figure runners and report formatting."""
 
-from . import bridges_experiments, lca_experiments
+from . import bridges_experiments, lca_experiments, service_experiments
 from .datasets import (
     BREAKDOWN_DATASETS,
     DATASETS,
@@ -12,6 +12,7 @@ from .datasets import (
     load_dataset,
 )
 from .report import format_rows, format_series, pivot_rows
+from .service_experiments import offered_load_sweep, serve_query_stream
 from .runner import (
     BRIDGE_ALGORITHMS,
     BREAKDOWN_BRIDGE_ALGORITHMS,
@@ -44,6 +45,9 @@ __all__ = [
     "run_bridges",
     "lca_experiments",
     "bridges_experiments",
+    "service_experiments",
+    "offered_load_sweep",
+    "serve_query_stream",
     "format_rows",
     "format_series",
     "pivot_rows",

@@ -1,0 +1,94 @@
+"""Experiment runners for the query-serving subsystem (beyond the paper).
+
+The paper's Figure 6 replays a pre-batched query stream; these experiments
+answer the follow-up question a serving system poses: *given queries arriving
+one at a time at some offered load, what throughput and tail latency does a
+micro-batching policy actually deliver?*  Every run is fully simulated —
+deterministic arrivals on the simulated clock, modeled device times — so rows
+are reproducible bit for bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..graphs.generators import random_attachment_tree
+from ..graphs.trees import generate_random_queries
+from ..lca import BinaryLiftingLCA
+from ..service import BatchPolicy, CostModelDispatcher, LCAQueryService
+
+__all__ = ["serve_query_stream", "offered_load_sweep", "DEFAULT_POLICIES"]
+
+#: Default (max_batch_size, max_wait_s) policies swept by the benchmark:
+#: pass-through, a latency-lean micro-batcher, and a throughput-lean one.
+DEFAULT_POLICIES: Tuple[Tuple[int, float], ...] = (
+    (1, 0.0),
+    (256, 2e-4),
+    (8192, 2e-3),
+)
+
+
+def serve_query_stream(parents: np.ndarray, xs: np.ndarray, ys: np.ndarray,
+                       arrivals_s: np.ndarray, policy: BatchPolicy, *,
+                       check_answers: bool = False) -> Dict[str, object]:
+    """Serve one timed query stream through a fresh service; return a stats row.
+
+    When ``check_answers`` is set the service's answers are verified against
+    the binary-lifting oracle (slower; meant for tests and spot checks).
+    """
+    service = LCAQueryService(policy=policy, dispatcher=CostModelDispatcher())
+    service.register_tree("stream", parents)
+    tickets = service.submit_many("stream", xs, ys, at=arrivals_s)
+    service.drain()
+    if check_answers:
+        expected = BinaryLiftingLCA(parents).query(xs, ys)
+        if not np.array_equal(service.results(tickets), expected):
+            raise AssertionError("service answers disagree with the oracle")
+    stats = service.stats()
+    backends = stats.backend_choices
+    total_batches = max(stats.batches_flushed, 1)
+    return {
+        "policy": f"batch<={policy.max_batch_size}, wait<={policy.max_wait_s * 1e6:.0f}us",
+        "max_batch_size": policy.max_batch_size,
+        "max_wait_us": round(policy.max_wait_s * 1e6, 1),
+        "queries": stats.queries_answered,
+        "batches": stats.batches_flushed,
+        "mean_batch": round(stats.mean_batch_size, 1),
+        "gpu_batch_frac": round(backends.get("gpu", 0) / total_batches, 3),
+        "throughput_qps": float(f"{stats.throughput_qps:.4g}"),
+        "latency_p50_us": round(stats.latency_p50_s * 1e6, 2),
+        "latency_p99_us": round(stats.latency_p99_s * 1e6, 2),
+        "cache_hit_rate": round(stats.cache_hit_rate, 3),
+    }
+
+
+def offered_load_sweep(n: int = 65_536, q: int = 16_384, *,
+                       rates_qps: Sequence[float] = (1e4, 1e5, 1e6, 1e7),
+                       policies: Sequence[Tuple[int, float]] = DEFAULT_POLICIES,
+                       seed: int = 0,
+                       check_answers: bool = False) -> List[Dict[str, object]]:
+    """Sweep offered load × batching policy on one shallow tree.
+
+    For every combination a fresh service serves ``q`` queries arriving at a
+    uniform rate; rows report delivered throughput, p50/p99 modeled latency,
+    realized mean batch size and the fraction of batches the dispatcher sent
+    to the GPU.  The expected shape: at low load every policy degenerates to
+    small CPU-served batches, while at high load the micro-batching policies
+    form device-sized batches and the GPU sustains the offered rate.
+    """
+    parents = random_attachment_tree(n, seed=seed)
+    xs, ys = generate_random_queries(n, q, seed=seed + 1)
+    rows: List[Dict[str, object]] = []
+    for rate in rates_qps:
+        arrivals = np.arange(q, dtype=np.float64) / float(rate)
+        for max_batch, max_wait in policies:
+            policy = BatchPolicy(max_batch_size=int(max_batch),
+                                 max_wait_s=float(max_wait))
+            row = serve_query_stream(parents, xs, ys, arrivals, policy,
+                                     check_answers=check_answers)
+            row["offered_qps"] = float(f"{rate:.4g}")
+            row["n"] = n
+            rows.append(row)
+    return rows

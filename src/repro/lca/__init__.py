@@ -11,8 +11,10 @@
 
 from .batch import BatchQueryResult, run_batched_queries
 from .inlabel import (
+    INLABEL_QUERY_COST,
     InlabelLCA,
     InlabelStructure,
+    QueryKernelCost,
     SequentialInlabelLCA,
     build_inlabel_structure,
 )
@@ -25,6 +27,8 @@ __all__ = [
     "SequentialInlabelLCA",
     "InlabelStructure",
     "build_inlabel_structure",
+    "QueryKernelCost",
+    "INLABEL_QUERY_COST",
     "NaiveGPULCA",
     "pointer_jump_levels",
     "RMQLCA",

@@ -29,6 +29,7 @@ Two execution flavours are provided:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -45,6 +46,8 @@ __all__ = [
     "build_inlabel_structure",
     "InlabelLCA",
     "SequentialInlabelLCA",
+    "QueryKernelCost",
+    "INLABEL_QUERY_COST",
 ]
 
 
@@ -97,6 +100,16 @@ class InlabelStructure:
     def n(self) -> int:
         """Number of tree nodes."""
         return int(self.inlabel.size)
+
+    @property
+    def nbytes(self) -> int:
+        """Memory footprint of the node tables (sum over all array fields)."""
+        return sum(
+            int(value.nbytes)
+            for field_ in dataclasses.fields(self)
+            for value in (getattr(self, field_.name),)
+            if isinstance(value, np.ndarray)
+        )
 
 
 def build_inlabel_structure(stats: TreeStats,
@@ -256,10 +269,26 @@ def _query_inlabel(structure: InlabelStructure, xs: np.ndarray, ys: np.ndarray
     return answer
 
 
-#: Modeled per-query word operations of an Inlabel query (a few dozen ALU ops).
-_QUERY_OPS = 40.0
-#: Modeled per-query bytes touched (node tables hit through scattered reads).
-_QUERY_BYTES = 112.0
+@dataclass(frozen=True)
+class QueryKernelCost:
+    """Modeled per-query kernel shape of a constant-time LCA query.
+
+    Both execution flavours charge their query kernels from these constants,
+    and :mod:`repro.service.dispatch` prices candidate backends with the very
+    same numbers — so a dispatch decision is, by construction, a comparison of
+    the costs the backends would actually be charged.
+    """
+
+    #: Word operations per query (a few dozen ALU ops).
+    ops: float
+    #: Bytes read per query (node tables hit through scattered reads).
+    bytes_read: float
+    #: Bytes written per query (the answer).
+    bytes_written: float
+
+
+#: The modeled cost of one Schieber–Vishkin Inlabel query.
+INLABEL_QUERY_COST = QueryKernelCost(ops=40.0, bytes_read=112.0, bytes_written=8.0)
 
 
 class InlabelLCA:
@@ -312,9 +341,9 @@ class InlabelLCA:
             ctx.kernel(
                 "inlabel_query_batch",
                 threads=int(xs.size),
-                ops=_QUERY_OPS * xs.size,
-                bytes_read=_QUERY_BYTES * xs.size,
-                bytes_written=8.0 * xs.size,
+                ops=INLABEL_QUERY_COST.ops * xs.size,
+                bytes_read=INLABEL_QUERY_COST.bytes_read * xs.size,
+                bytes_written=INLABEL_QUERY_COST.bytes_written * xs.size,
                 launches=1,
                 random_access=True,
             )
@@ -373,8 +402,8 @@ class SequentialInlabelLCA:
             out = _query_inlabel(self.structure, xs, ys)
             ctx.sequential(
                 "cpu_inlabel_query_batch",
-                ops=_QUERY_OPS * xs.size,
-                bytes_touched=_QUERY_BYTES * xs.size,
+                ops=INLABEL_QUERY_COST.ops * xs.size,
+                bytes_touched=INLABEL_QUERY_COST.bytes_read * xs.size,
                 random_access=True,
             )
         return out

@@ -1,0 +1,66 @@
+"""Batched query-serving subsystem (beyond the paper: Fig. 6 as a system).
+
+The paper's batch-size experiment shows GPU graph queries only pay off in
+bulk; this subpackage turns that observation into a serving architecture:
+
+* :class:`~repro.service.registry.ForestStore` / \
+  :class:`~repro.service.registry.IndexRegistry` — named datasets with
+  lazily built, byte-accounted, LRU-evicted index artifacts keyed by
+  ``(dataset, kind, device)``;
+* :class:`~repro.service.scheduler.MicroBatchScheduler` — coalesces single
+  queries into batches under a max-size / max-wait
+  :class:`~repro.service.scheduler.BatchPolicy`, on a deterministic
+  :class:`~repro.service.clock.SimulatedClock`;
+* :class:`~repro.service.dispatch.CostModelDispatcher` — prices every batch
+  on each candidate :class:`~repro.service.dispatch.Backend` with the device
+  roofline model and picks the cheapest (CPU for singletons, GPU for bulk);
+* :class:`~repro.service.stats.ServiceStats` — throughput, p50/p99 modeled
+  latency, batch-size histogram, flush-trigger and cache accounting;
+* :class:`~repro.service.service.LCAQueryService` — the façade wiring all of
+  the above together.
+"""
+
+from .clock import SimulatedClock
+from .dispatch import (
+    CPU_SEQUENTIAL_BACKEND,
+    DEFAULT_BACKENDS,
+    GPU_BATCH_BACKEND,
+    Backend,
+    CostModelDispatcher,
+    estimate_batch_query_time,
+)
+from .registry import (
+    ARTIFACT_KINDS,
+    ArtifactKey,
+    CacheEntry,
+    ForestStore,
+    IndexRegistry,
+    artifact_nbytes,
+)
+from .scheduler import BatchPolicy, FlushedBatch, MicroBatchScheduler, PendingQuery
+from .service import LCAQueryService
+from .stats import ServiceStats, StatsCollector, batch_size_bucket
+
+__all__ = [
+    "SimulatedClock",
+    "ForestStore",
+    "IndexRegistry",
+    "ArtifactKey",
+    "CacheEntry",
+    "ARTIFACT_KINDS",
+    "artifact_nbytes",
+    "BatchPolicy",
+    "PendingQuery",
+    "FlushedBatch",
+    "MicroBatchScheduler",
+    "Backend",
+    "CPU_SEQUENTIAL_BACKEND",
+    "GPU_BATCH_BACKEND",
+    "DEFAULT_BACKENDS",
+    "estimate_batch_query_time",
+    "CostModelDispatcher",
+    "ServiceStats",
+    "StatsCollector",
+    "batch_size_bucket",
+    "LCAQueryService",
+]

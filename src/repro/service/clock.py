@@ -1,0 +1,54 @@
+"""Deterministic simulated clock shared by the serving subsystem.
+
+Everything in :mod:`repro.service` is timed against this clock rather than
+wall time: arrivals carry explicit timestamps, wait-triggered flushes fire at
+exact modeled deadlines, and batch completions are arrival-plus-modeled-cost.
+The whole subsystem is therefore reproducible bit for bit — the same query
+trace always produces the same batches, latencies and statistics, with no
+flakiness from scheduler jitter or host load.
+"""
+
+from __future__ import annotations
+
+from ..errors import ServiceError
+
+__all__ = ["SimulatedClock"]
+
+
+class SimulatedClock:
+    """A monotone simulated time source (seconds as a float).
+
+    Time only moves when a caller advances it; it never moves backwards.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        """Move time forward by ``dt`` seconds and return the new time."""
+        if dt < 0:
+            raise ServiceError(f"cannot advance the clock by a negative delta ({dt})")
+        self._now += float(dt)
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move time forward to the absolute instant ``t`` and return it.
+
+        Advancing to the current time is a no-op; advancing into the past is
+        an error (simulated time is monotone).
+        """
+        t = float(t)
+        if t < self._now:
+            raise ServiceError(
+                f"cannot move the clock backwards (now={self._now}, requested={t})"
+            )
+        self._now = t
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"SimulatedClock(now={self._now!r})"

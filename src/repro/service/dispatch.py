@@ -1,0 +1,151 @@
+"""Cost-model-driven backend dispatch for query batches.
+
+The paper's Fig. 6 finding, restated operationally: *which device should
+serve a batch depends on the batch size*.  A single query on the GPU pays a
+kernel launch plus an unhidden memory-latency critical path (microseconds); a
+single query on a CPU core is a handful of cache misses (a tenth of a
+microsecond).  At tens of thousands of queries the GPU's bandwidth wins by
+orders of magnitude.  ``bridges/hybrid.py`` hard-codes one such choice — swap
+the diameter-sensitive phase for a different algorithm — as a one-off; this
+module generalizes the idea into a reusable policy object.
+
+:class:`CostModelDispatcher` prices each candidate :class:`Backend` with the
+same :func:`~repro.device.context.modeled_kernel_time` roofline model that the
+execution layer charges with, using the per-query kernel shape published by
+the LCA layer (:data:`repro.lca.INLABEL_QUERY_COST`).  The decision is thus a
+comparison of the *actual* modeled costs, not a separately-tuned threshold
+that could drift out of sync with the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..device import GTX980, XEON_X5650_SINGLE, DeviceSpec, modeled_kernel_time
+from ..errors import ServiceError
+from ..lca import INLABEL_QUERY_COST, QueryKernelCost
+
+__all__ = [
+    "Backend",
+    "CPU_SEQUENTIAL_BACKEND",
+    "GPU_BATCH_BACKEND",
+    "DEFAULT_BACKENDS",
+    "estimate_batch_query_time",
+    "CostModelDispatcher",
+]
+
+
+@dataclass(frozen=True)
+class Backend:
+    """One candidate execution backend for serving query batches.
+
+    ``sequential`` describes how the backend charges a batch: one thread
+    working through the queries (the single-core CPU baseline) versus one
+    thread per query (the bulk-parallel GPU kernel).  The registry builds the
+    matching algorithm flavour (:class:`~repro.lca.SequentialInlabelLCA` vs
+    :class:`~repro.lca.InlabelLCA`) from the same distinction.
+    """
+
+    key: str
+    label: str
+    spec: DeviceSpec
+    sequential: bool
+
+
+#: Single-core CPU serving: no launch overhead to speak of, no parallelism.
+CPU_SEQUENTIAL_BACKEND = Backend(
+    key="cpu1", label="Single-core CPU Inlabel", spec=XEON_X5650_SINGLE,
+    sequential=True,
+)
+
+#: Bulk-parallel GPU serving: one map kernel over the whole batch.
+GPU_BATCH_BACKEND = Backend(
+    key="gpu", label="GPU Inlabel", spec=GTX980, sequential=False,
+)
+
+#: The paper's two serving endpoints (Fig. 6's extreme curves).
+DEFAULT_BACKENDS: Tuple[Backend, ...] = (CPU_SEQUENTIAL_BACKEND, GPU_BATCH_BACKEND)
+
+
+def estimate_batch_query_time(backend: Backend, batch_size: int, *,
+                              cost: QueryKernelCost = INLABEL_QUERY_COST) -> float:
+    """Modeled time for ``backend`` to answer one batch of ``batch_size`` queries.
+
+    Mirrors exactly the kernel shapes the two execution flavours charge:
+    a sequential backend runs one thread over all queries reading the node
+    tables (:meth:`ExecutionContext.sequential`), a parallel backend launches
+    one thread per query and also writes the answer array.
+    """
+    if batch_size < 1:
+        raise ServiceError("batch_size must be at least 1")
+    q = float(batch_size)
+    if backend.sequential:
+        return modeled_kernel_time(
+            backend.spec, threads=1, ops=cost.ops * q,
+            bytes_read=cost.bytes_read * q, bytes_written=0.0,
+            launches=1, random_access=True,
+        )
+    return modeled_kernel_time(
+        backend.spec, threads=batch_size, ops=cost.ops * q,
+        bytes_read=cost.bytes_read * q, bytes_written=cost.bytes_written * q,
+        launches=1, random_access=True,
+    )
+
+
+class CostModelDispatcher:
+    """Chooses the cheapest backend for each batch size under the cost model.
+
+    Stateless and cheap: a decision is a handful of float comparisons, so the
+    service consults it for every flush.  Ties go to the earlier backend in
+    ``backends`` (by convention the CPU, i.e. "don't occupy the accelerator
+    unless it actually helps").
+    """
+
+    def __init__(self, backends: Sequence[Backend] = DEFAULT_BACKENDS, *,
+                 cost: QueryKernelCost = INLABEL_QUERY_COST) -> None:
+        if not backends:
+            raise ServiceError("dispatcher needs at least one backend")
+        keys = [b.key for b in backends]
+        if len(set(keys)) != len(keys):
+            raise ServiceError(f"backend keys must be unique, got {keys}")
+        self.backends: Tuple[Backend, ...] = tuple(backends)
+        self.cost = cost
+
+    def estimate(self, backend: Backend, batch_size: int) -> float:
+        """Modeled serving time of one batch on ``backend``."""
+        return estimate_batch_query_time(backend, batch_size, cost=self.cost)
+
+    def estimates(self, batch_size: int) -> Tuple[Tuple[Backend, float], ...]:
+        """Every backend with its modeled time for this batch size."""
+        return tuple((b, self.estimate(b, batch_size)) for b in self.backends)
+
+    def choose(self, batch_size: int) -> Backend:
+        """The backend with the smallest modeled time (ties: earliest listed)."""
+        return min(self.estimates(batch_size), key=lambda pair: pair[1])[0]
+
+    def crossover_batch_size(self, *, max_batch: int = 1 << 24) -> Optional[int]:
+        """Smallest batch size whose choice differs from the batch-size-1 choice.
+
+        Found by doubling then bisecting, assuming the decision flips at most
+        once over ``[1, max_batch]`` — true for launch-overhead-vs-bandwidth
+        trade-offs like CPU/GPU serving.  Returns ``None`` when the choice
+        never changes (e.g. a single-backend dispatcher).
+        """
+        base = self.choose(1)
+        hi = 1
+        while self.choose(hi) == base:
+            if hi >= max_batch:
+                return None
+            hi = min(hi * 2, max_batch)
+        lo = hi // 2  # choose(lo) == base, choose(hi) != base
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self.choose(mid) == base:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"CostModelDispatcher(backends={[b.key for b in self.backends]})"

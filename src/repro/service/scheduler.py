@@ -1,0 +1,188 @@
+"""Micro-batch scheduler: coalesce single queries into device-sized batches.
+
+The paper's batch-size experiment (Fig. 6) shows that the GPU only pays off
+once queries are handed over in batches of ~100 or more, and saturates around
+10⁴.  An online service, however, receives queries one at a time.  The
+standard resolution — the same one used by neural-inference servers — is
+*micro-batching*: hold arriving queries in a queue and flush the queue as one
+batch when either
+
+* the queue reaches ``max_batch_size`` (**size trigger** — the device-sized
+  batch is ready, no reason to wait), or
+* the oldest queued query has waited ``max_wait_s`` (**wait trigger** — the
+  latency budget is up, flush whatever has accumulated), or
+* the caller forces it (**drain trigger** — e.g. shutdown or a benchmark
+  boundary).
+
+All timing uses the :class:`~repro.service.clock.SimulatedClock`, so flush
+decisions are deterministic functions of the arrival timestamps: a
+wait-triggered flush fires at exactly ``oldest_arrival + max_wait_s``, never
+"roughly when the event loop got around to it".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ServiceError
+from .clock import SimulatedClock
+
+__all__ = ["BatchPolicy", "PendingQuery", "FlushedBatch", "MicroBatchScheduler"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """The two knobs of the micro-batching trade-off.
+
+    ``max_batch_size=1`` degenerates to pass-through serving (every query is
+    its own batch); ``max_wait_s=0.0`` flushes a pending queue as soon as time
+    moves at all, which bounds added queueing latency at zero but only forms
+    batches out of queries arriving at the same instant.
+    """
+
+    max_batch_size: int = 1024
+    max_wait_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ServiceError("max_batch_size must be at least 1")
+        if self.max_wait_s < 0:
+            raise ServiceError("max_wait_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class PendingQuery:
+    """One queued LCA query with its arrival time."""
+
+    ticket: int
+    x: int
+    y: int
+    arrival_s: float
+
+
+@dataclass(frozen=True)
+class FlushedBatch:
+    """A batch handed to the execution backend, with full timing provenance."""
+
+    tickets: np.ndarray
+    xs: np.ndarray
+    ys: np.ndarray
+    arrival_s: np.ndarray
+    flush_s: float
+    trigger: str
+
+    @property
+    def size(self) -> int:
+        """Number of queries in the batch."""
+        return int(self.xs.size)
+
+    @property
+    def queue_wait_s(self) -> np.ndarray:
+        """Per-query time spent waiting in the queue before the flush."""
+        return self.flush_s - self.arrival_s
+
+
+class MicroBatchScheduler:
+    """Coalesces submitted queries into batches under a :class:`BatchPolicy`.
+
+    The scheduler never executes anything itself — it returns
+    :class:`FlushedBatch` objects and the caller (the service layer) runs them
+    through a backend.  ``submit`` and ``advance_to`` may each produce several
+    batches: advancing time far enough can expire several wait deadlines, and
+    a submission can both expire old queries and complete a full batch.
+    """
+
+    def __init__(self, policy: Optional[BatchPolicy] = None, *,
+                 clock: Optional[SimulatedClock] = None) -> None:
+        self.policy = policy or BatchPolicy()
+        self.clock = clock or SimulatedClock()
+        self._pending: List[PendingQuery] = []
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def pending_count(self) -> int:
+        """Number of queries currently queued."""
+        return len(self._pending)
+
+    @property
+    def next_deadline(self) -> Optional[float]:
+        """Instant at which the oldest pending query must be flushed."""
+        if not self._pending:
+            return None
+        return self._pending[0].arrival_s + self.policy.max_wait_s
+
+    # ------------------------------------------------------------------
+    # Submission and time
+    # ------------------------------------------------------------------
+    def submit(self, ticket: int, x: int, y: int, *,
+               at: Optional[float] = None) -> List[FlushedBatch]:
+        """Queue one query, returning any batches its arrival caused to flush.
+
+        ``at`` is the arrival timestamp; omitted, the query arrives "now".
+        Advancing to ``at`` first fires any wait deadlines that expire before
+        the new query arrives, so batches never contain queries that should
+        already have been served.
+        """
+        t = self.clock.now if at is None else self.clock.advance_to(at)
+        # Only strictly-past deadlines flush here: a query arriving exactly at
+        # the pending queue's deadline still joins that batch (and with
+        # max_wait_s=0 this is what lets same-instant arrivals coalesce).
+        flushed = self._flush_expired(t, include_equal=False)
+        self._pending.append(PendingQuery(int(ticket), int(x), int(y), t))
+        if len(self._pending) >= self.policy.max_batch_size:
+            flushed.append(self._flush(t, "size"))
+        return flushed
+
+    def advance_to(self, t: float, *, include_equal: bool = True
+                   ) -> List[FlushedBatch]:
+        """Move simulated time to ``t``, flushing every expired wait deadline.
+
+        With ``include_equal=False``, a deadline exactly at ``t`` is left
+        pending — the service layer uses this on the submit path so a query
+        arriving at ``t`` can still join that batch.
+        """
+        self.clock.advance_to(t)
+        return self._flush_expired(float(t), include_equal=include_equal)
+
+    def drain(self) -> List[FlushedBatch]:
+        """Force out everything still pending (at the current time)."""
+        out: List[FlushedBatch] = []
+        while self._pending:
+            out.append(self._flush(self.clock.now, "drain"))
+        return out
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _flush_expired(self, t: float, *, include_equal: bool = True
+                       ) -> List[FlushedBatch]:
+        out: List[FlushedBatch] = []
+        while self._pending:
+            deadline = self._pending[0].arrival_s + self.policy.max_wait_s
+            if deadline > t or (deadline == t and not include_equal):
+                break
+            # The flush happens at the deadline itself, not at t: with a
+            # simulated clock there is no "checking late".
+            out.append(self._flush(deadline, "wait"))
+        return out
+
+    def _flush(self, flush_s: float, trigger: str) -> FlushedBatch:
+        take = min(len(self._pending), self.policy.max_batch_size)
+        batch, self._pending = self._pending[:take], self._pending[take:]
+        return FlushedBatch(
+            tickets=np.asarray([p.ticket for p in batch], dtype=np.int64),
+            xs=np.asarray([p.x for p in batch], dtype=np.int64),
+            ys=np.asarray([p.y for p in batch], dtype=np.int64),
+            arrival_s=np.asarray([p.arrival_s for p in batch], dtype=np.float64),
+            flush_s=float(flush_s),
+            trigger=trigger,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (f"MicroBatchScheduler(pending={self.pending_count}, "
+                f"policy={self.policy}, now={self.clock.now})")

@@ -1,0 +1,280 @@
+"""The query service: registry + micro-batch scheduler + dispatcher, wired up.
+
+:class:`LCAQueryService` is the subsystem's front door.  Callers register
+named trees, submit individual LCA queries with arrival timestamps, and read
+back answers by ticket; internally each dataset gets a
+:class:`~repro.service.scheduler.MicroBatchScheduler` (all sharing one
+simulated clock), every flushed batch is priced by the
+:class:`~repro.service.dispatch.CostModelDispatcher` and executed on the
+chosen backend's algorithm fetched from — or lazily built into — the
+:class:`~repro.service.registry.IndexRegistry`.
+
+The modeled end-to-end latency of a query is::
+
+    (flush_time - arrival_time)        # waiting for the batch to form
+    + backend queueing                 # waiting for the device to come free
+    + index build time                 # only when the batch hit a cold cache
+    + batch execution time             # the backend's modeled kernel time
+
+which is exactly the latency decomposition of a real batched serving system.
+Each backend is a single serially occupied device: a batch starts at
+``max(flush_time, backend_free_time)``, so offered load beyond a backend's
+modeled capacity shows up as growing queueing delay and saturating delivered
+throughput rather than as impossible numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..device import ExecutionContext
+from ..errors import InvalidQueryError, ServiceError
+from .clock import SimulatedClock
+from .dispatch import CostModelDispatcher
+from .registry import ForestStore, IndexRegistry
+from .scheduler import BatchPolicy, FlushedBatch, MicroBatchScheduler
+from .stats import ServiceStats, StatsCollector
+
+__all__ = ["LCAQueryService"]
+
+
+class LCAQueryService:
+    """Serves LCA queries against named, index-cached trees in micro-batches.
+
+    Parameters
+    ----------
+    store:
+        Raw dataset store; a fresh empty one by default.
+    policy:
+        Micro-batching policy applied to every dataset's scheduler.
+    dispatcher:
+        Backend-choice policy; defaults to CPU-vs-GPU under the roofline
+        cost model.
+    capacity_bytes:
+        Optional index-cache capacity (see :class:`IndexRegistry`).
+    clock:
+        Simulated time source shared by all schedulers.
+
+    Usage
+    -----
+    >>> import numpy as np
+    >>> from repro.graphs.generators import random_attachment_tree
+    >>> from repro.service import LCAQueryService
+    >>> svc = LCAQueryService()
+    >>> svc.register_tree("t", random_attachment_tree(64, seed=0))
+    >>> tickets = [svc.submit("t", x, y, at=i * 1e-6)
+    ...            for i, (x, y) in enumerate([(1, 2), (3, 4), (5, 6)])]
+    >>> svc.drain()
+    >>> answers = svc.results(tickets)
+    """
+
+    def __init__(self, store: Optional[ForestStore] = None, *,
+                 policy: Optional[BatchPolicy] = None,
+                 dispatcher: Optional[CostModelDispatcher] = None,
+                 capacity_bytes: Optional[int] = None,
+                 clock: Optional[SimulatedClock] = None) -> None:
+        self.clock = clock or SimulatedClock()
+        self.store = store or ForestStore()
+        self.registry = IndexRegistry(self.store, capacity_bytes=capacity_bytes)
+        self.policy = policy or BatchPolicy()
+        self.dispatcher = dispatcher or CostModelDispatcher()
+        self.stats_collector = StatsCollector()
+        self._schedulers: Dict[str, MicroBatchScheduler] = {}
+        self._results: Dict[int, int] = {}
+        self._latencies: Dict[int, float] = {}
+        self._next_ticket = 0
+        # When each backend's (single, serially occupied) device next comes
+        # free; batches queue behind it.
+        self._backend_free_s: Dict[str, float] = {}
+        # Tree datasets already in a caller-provided store are servable
+        # immediately — they get schedulers just like register_tree()'d ones.
+        for name in self.store.names:
+            if self.store.has_tree(name):
+                self._schedulers[name] = MicroBatchScheduler(self.policy,
+                                                             clock=self.clock)
+
+    # ------------------------------------------------------------------
+    # Dataset management
+    # ------------------------------------------------------------------
+    def register_tree(self, name: str, parents: Optional[np.ndarray] = None, *,
+                      loader: Optional[Callable[[], np.ndarray]] = None,
+                      validate: bool = False) -> None:
+        """Register a named tree and give it a scheduler."""
+        self.store.add_tree(name, parents, loader=loader, validate=validate)
+        self._schedulers[name] = MicroBatchScheduler(self.policy, clock=self.clock)
+
+    @property
+    def datasets(self) -> List[str]:
+        """Names of all registered datasets."""
+        return list(self._schedulers)
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def submit(self, dataset: str, x: int, y: int, *,
+               at: Optional[float] = None) -> int:
+        """Submit one LCA query; returns a ticket redeemable after its flush.
+
+        ``at`` is the simulated arrival time (monotone across calls); omitted,
+        the query arrives at the clock's current instant.  Arrival may trigger
+        flushes — on this dataset (size trigger) or on any dataset whose wait
+        deadline the advancing clock passed.
+
+        Query nodes are validated here, before the query is accepted (a
+        lazily registered tree is materialized by its first submission): a
+        bad query is rejected at its own submit call instead of exploding at
+        flush time inside a batch of other callers' queries.
+        """
+        scheduler = self._scheduler(dataset)
+        n = self.store.tree(dataset).size
+        if not (0 <= int(x) < n and 0 <= int(y) < n):
+            raise InvalidQueryError(
+                f"query nodes ({x}, {y}) out of range for dataset {dataset!r} "
+                f"with {n} nodes"
+            )
+        t = self.clock.now if at is None else float(at)
+        # Serve everything that expired before this arrival, across all
+        # datasets, in global flush-time order; the submitted dataset's
+        # deadline exactly at t stays pending so this query can join it.
+        for name, batch in self._expired_batches(t, exclusive=dataset):
+            self._serve(name, batch)
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self.stats_collector.record_submit()
+        for batch in scheduler.submit(ticket, x, y):
+            self._serve(dataset, batch)
+        return ticket
+
+    def submit_many(self, dataset: str, xs: np.ndarray, ys: np.ndarray, *,
+                    at: Optional[np.ndarray] = None) -> np.ndarray:
+        """Submit a stream of single queries; returns their tickets.
+
+        This is a convenience loop over :meth:`submit` — each query still goes
+        through the scheduler individually (it is *not* a pre-formed batch).
+        ``at`` optionally gives each query its own arrival timestamp.
+        """
+        xs = np.atleast_1d(np.asarray(xs, dtype=np.int64))
+        ys = np.atleast_1d(np.asarray(ys, dtype=np.int64))
+        if xs.shape != ys.shape:
+            raise ServiceError("query arrays must have the same shape")
+        if at is not None:
+            at = np.atleast_1d(np.asarray(at, dtype=np.float64))
+            if at.shape != xs.shape:
+                raise ServiceError("timestamp array must match the query arrays")
+        tickets = np.empty(xs.size, dtype=np.int64)
+        for i in range(xs.size):
+            tickets[i] = self.submit(
+                dataset, int(xs[i]), int(ys[i]),
+                at=None if at is None else float(at[i]),
+            )
+        return tickets
+
+    def advance_to(self, t: float) -> None:
+        """Advance simulated time, serving every wait-expired batch."""
+        for name, batch in self._expired_batches(float(t)):
+            self._serve(name, batch)
+
+    def drain(self) -> None:
+        """Flush and serve everything still queued, on every dataset."""
+        for name, scheduler in self._schedulers.items():
+            for batch in scheduler.drain():
+                self._serve(name, batch)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self, ticket: int) -> int:
+        """The answer for one ticket (its batch must have been served)."""
+        try:
+            return self._results[int(ticket)]
+        except KeyError:
+            if 0 <= int(ticket) < self._next_ticket:
+                raise ServiceError(
+                    f"ticket {ticket} is still queued; advance time or drain()"
+                ) from None
+            raise ServiceError(f"unknown ticket {ticket}") from None
+
+    def results(self, tickets) -> np.ndarray:
+        """Vector of answers for a sequence of tickets."""
+        return np.asarray([self.result(t) for t in np.atleast_1d(tickets)],
+                          dtype=np.int64)
+
+    def latency(self, ticket: int) -> float:
+        """Modeled end-to-end latency of one answered query."""
+        self.result(ticket)  # raises uniformly for unknown/queued tickets
+        return self._latencies[int(ticket)]
+
+    def pending_count(self, dataset: Optional[str] = None) -> int:
+        """Queries currently queued (for one dataset, or in total)."""
+        if dataset is not None:
+            return self._scheduler(dataset).pending_count
+        return sum(s.pending_count for s in self._schedulers.values())
+
+    def stats(self) -> ServiceStats:
+        """Snapshot of the service's accumulated statistics."""
+        return self.stats_collector.snapshot(registry=self.registry)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _scheduler(self, dataset: str) -> MicroBatchScheduler:
+        try:
+            return self._schedulers[dataset]
+        except KeyError:
+            raise ServiceError(
+                f"unknown dataset {dataset!r}; register_tree() it first"
+            ) from None
+
+    def _expired_batches(self, t: float, exclusive: Optional[str] = None
+                         ) -> List[tuple]:
+        # One shared clock: advancing it for one dataset fires every other
+        # dataset's expired wait deadlines too.  Batches are returned sorted
+        # by flush time so they queue on the backends in FIFO order no matter
+        # which dataset they came from; for ``exclusive`` (a dataset about to
+        # receive a submission at ``t``) deadlines equal to ``t`` are left
+        # pending so the arriving query can join them.
+        self.clock.advance_to(t)
+        collected: List[tuple] = []
+        for name, scheduler in self._schedulers.items():
+            # An empty scheduler can never flush — skipping it keeps the
+            # per-submit cost independent of how many idle datasets exist.
+            if scheduler.pending_count == 0:
+                continue
+            batches = scheduler.advance_to(t, include_equal=name != exclusive)
+            collected.extend((name, batch) for batch in batches)
+        collected.sort(key=lambda item: item[1].flush_s)
+        return collected
+
+    def _serve(self, dataset: str, batch: FlushedBatch) -> None:
+        backend = self.dispatcher.choose(batch.size)
+        entry, hit = self.registry.fetch(dataset, "lca", backend.spec,
+                                         sequential=backend.sequential)
+        service_time = 0.0 if hit else entry.build_time_s
+        ctx = ExecutionContext(backend.spec)
+        answers = entry.artifact.query(batch.xs, batch.ys, ctx=ctx)
+        service_time += ctx.elapsed
+        # The batch starts once both it is flushed and the device is free;
+        # this serializes batches per backend so overload manifests as
+        # queueing delay, not as impossible overlapping service times.
+        start = max(batch.flush_s, self._backend_free_s.get(backend.key, 0.0))
+        completion = start + service_time
+        self._backend_free_s[backend.key] = completion
+        latencies = completion - batch.arrival_s
+        for ticket, answer, lat in zip(batch.tickets, answers, latencies):
+            self._results[int(ticket)] = int(answer)
+            self._latencies[int(ticket)] = float(lat)
+        self.stats_collector.record_batch(
+            size=batch.size,
+            trigger=batch.trigger,
+            backend_key=backend.key,
+            service_time_s=service_time,
+            latencies_s=latencies,
+            first_arrival_s=float(batch.arrival_s.min()),
+            completion_s=completion,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (f"LCAQueryService(datasets={self.datasets}, "
+                f"pending={self.pending_count()}, answered={len(self._results)})")

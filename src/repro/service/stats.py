@@ -1,0 +1,170 @@
+"""Observability surface of the query service.
+
+A serving system is judged by its operational envelope, not by any single
+request: sustained throughput, tail latency, how well the cache converts
+repeat traffic into hits, and what batch sizes the scheduler actually manages
+to form under the offered load.  :class:`StatsCollector` accumulates those
+signals as batches complete; :meth:`StatsCollector.snapshot` freezes them into
+an immutable :class:`ServiceStats` record that experiment runners and
+benchmarks can put straight into a report table.
+
+All times are *modeled* times on the simulated devices and the simulated
+clock — deterministic, so stats assertions in tests are exact.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["ServiceStats", "StatsCollector", "batch_size_bucket"]
+
+
+def batch_size_bucket(size: int) -> int:
+    """The power-of-two histogram bucket (its lower bound) for a batch size."""
+    if size < 1:
+        raise ValueError("batch size must be at least 1")
+    return 1 << (int(size).bit_length() - 1)
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Immutable snapshot of a service's accumulated behaviour."""
+
+    #: Queries submitted / answered so far (they differ by what is queued).
+    queries_submitted: int
+    queries_answered: int
+    #: Batches executed, and the distribution of their sizes in power-of-two
+    #: buckets (bucket lower bound → count).
+    batches_flushed: int
+    mean_batch_size: float
+    batch_size_histogram: Dict[int, int]
+    #: Why batches flushed: counts for "size", "wait" and "drain" triggers.
+    flush_triggers: Dict[str, int]
+    #: How often each backend was chosen, keyed by backend key.
+    backend_choices: Dict[str, int]
+    #: Modeled end-to-end latency (batching wait + backend queueing + index
+    #: build on a cold cache + batch execution) over all answered queries.
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p99_s: float
+    latency_max_s: float
+    #: Modeled time backends spent executing batches (including index builds).
+    busy_time_s: float
+    #: Simulated span from the first arrival to the last completion.
+    span_s: float
+    #: Index-cache accounting, mirrored from the registry.
+    cache_hits: int
+    cache_misses: int
+    cache_evictions: int
+    cache_hit_rate: float
+    cache_bytes_in_use: int
+
+    @property
+    def throughput_qps(self) -> float:
+        """Answered queries per second of simulated span."""
+        if self.span_s <= 0:
+            return float("inf") if self.queries_answered else 0.0
+        return self.queries_answered / self.span_s
+
+    def format(self) -> str:
+        """Render the snapshot as an aligned text block for reports."""
+        hist = " ".join(
+            f"[{b}:{c}]" for b, c in sorted(self.batch_size_histogram.items())
+        )
+        triggers = " ".join(f"{k}={v}" for k, v in sorted(self.flush_triggers.items()))
+        backends = " ".join(f"{k}={v}" for k, v in sorted(self.backend_choices.items()))
+        lines = [
+            f"queries            : {self.queries_answered}/{self.queries_submitted} answered",
+            f"batches            : {self.batches_flushed} "
+            f"(mean size {self.mean_batch_size:.1f})",
+            f"batch histogram    : {hist or '-'}",
+            f"flush triggers     : {triggers or '-'}",
+            f"backend choices    : {backends or '-'}",
+            f"latency p50/p99    : {self.latency_p50_s * 1e6:.2f} / "
+            f"{self.latency_p99_s * 1e6:.2f} us (max {self.latency_max_s * 1e6:.2f} us)",
+            f"throughput         : {self.throughput_qps:,.0f} queries/s "
+            f"over {self.span_s * 1e3:.3f} ms span",
+            f"backend busy time  : {self.busy_time_s * 1e3:.3f} ms modeled",
+            f"index cache        : {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({self.cache_hit_rate:.1%}), {self.cache_evictions} evictions, "
+            f"{self.cache_bytes_in_use:,} bytes",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass
+class StatsCollector:
+    """Mutable accumulator the service layer feeds as batches complete."""
+
+    queries_submitted: int = 0
+    queries_answered: int = 0
+    batches_flushed: int = 0
+    busy_time_s: float = 0.0
+    batch_sizes: Counter = field(default_factory=Counter)
+    flush_triggers: Counter = field(default_factory=Counter)
+    backend_choices: Counter = field(default_factory=Counter)
+    _latency_chunks: List[np.ndarray] = field(default_factory=list)
+    _first_arrival_s: Optional[float] = None
+    _last_completion_s: Optional[float] = None
+
+    def record_submit(self, count: int = 1) -> None:
+        """Count newly submitted queries."""
+        self.queries_submitted += int(count)
+
+    def record_batch(self, *, size: int, trigger: str, backend_key: str,
+                     service_time_s: float, latencies_s: np.ndarray,
+                     first_arrival_s: float, completion_s: float) -> None:
+        """Fold one completed batch into the counters."""
+        self.queries_answered += int(size)
+        self.batches_flushed += 1
+        self.busy_time_s += float(service_time_s)
+        self.batch_sizes[batch_size_bucket(size)] += 1
+        self.flush_triggers[trigger] += 1
+        self.backend_choices[backend_key] += 1
+        self._latency_chunks.append(np.asarray(latencies_s, dtype=np.float64))
+        if self._first_arrival_s is None or first_arrival_s < self._first_arrival_s:
+            self._first_arrival_s = float(first_arrival_s)
+        if self._last_completion_s is None or completion_s > self._last_completion_s:
+            self._last_completion_s = float(completion_s)
+
+    def snapshot(self, *, registry=None) -> ServiceStats:
+        """Freeze the current counters into a :class:`ServiceStats`.
+
+        ``registry`` (an :class:`~repro.service.registry.IndexRegistry`)
+        contributes the cache section; omitted, those fields read zero.
+        """
+        if self._latency_chunks:
+            lat = np.concatenate(self._latency_chunks)
+            p50, p99 = (float(v) for v in np.percentile(lat, [50.0, 99.0]))
+            mean, worst = float(lat.mean()), float(lat.max())
+        else:
+            p50 = p99 = mean = worst = 0.0
+        span = 0.0
+        if self._first_arrival_s is not None and self._last_completion_s is not None:
+            span = self._last_completion_s - self._first_arrival_s
+        mean_batch = (self.queries_answered / self.batches_flushed
+                      if self.batches_flushed else 0.0)
+        return ServiceStats(
+            queries_submitted=self.queries_submitted,
+            queries_answered=self.queries_answered,
+            batches_flushed=self.batches_flushed,
+            mean_batch_size=mean_batch,
+            batch_size_histogram=dict(self.batch_sizes),
+            flush_triggers=dict(self.flush_triggers),
+            backend_choices=dict(self.backend_choices),
+            latency_mean_s=mean,
+            latency_p50_s=p50,
+            latency_p99_s=p99,
+            latency_max_s=worst,
+            busy_time_s=self.busy_time_s,
+            span_s=span,
+            cache_hits=registry.hits if registry is not None else 0,
+            cache_misses=registry.misses if registry is not None else 0,
+            cache_evictions=registry.evictions if registry is not None else 0,
+            cache_hit_rate=registry.hit_rate if registry is not None else 0.0,
+            cache_bytes_in_use=registry.bytes_in_use if registry is not None else 0,
+        )

@@ -1,0 +1,6 @@
+"""Test suite for the repro package.
+
+This file makes ``tests`` a package so the ``from .conftest import ...``
+relative imports inside the test modules resolve under pytest's default
+import mode.
+"""

@@ -1,0 +1,106 @@
+"""Dispatcher tests: roofline pricing vs brute force, and the CPU/GPU crossover."""
+
+import numpy as np
+import pytest
+
+from repro.device import GTX980, XEON_X5650_SINGLE, ExecutionContext, modeled_kernel_time
+from repro.errors import ServiceError
+from repro.graphs.generators import random_attachment_tree
+from repro.lca import INLABEL_QUERY_COST, InlabelLCA, SequentialInlabelLCA
+from repro.service import (
+    CPU_SEQUENTIAL_BACKEND,
+    GPU_BATCH_BACKEND,
+    Backend,
+    CostModelDispatcher,
+    estimate_batch_query_time,
+)
+
+BATCH_SIZES = (1, 2, 5, 10, 50, 100, 1_000, 10_000, 100_000)
+
+
+def brute_force_estimate(backend, q):
+    """Price a batch directly with the roofline model (no dispatch layer)."""
+    cost = INLABEL_QUERY_COST
+    if backend.sequential:
+        return modeled_kernel_time(
+            backend.spec, threads=1, ops=cost.ops * q,
+            bytes_read=cost.bytes_read * q, bytes_written=0.0,
+            launches=1, random_access=True)
+    return modeled_kernel_time(
+        backend.spec, threads=q, ops=cost.ops * q,
+        bytes_read=cost.bytes_read * q, bytes_written=cost.bytes_written * q,
+        launches=1, random_access=True)
+
+
+def test_estimates_equal_brute_force_roofline():
+    dispatcher = CostModelDispatcher()
+    for backend in dispatcher.backends:
+        for q in BATCH_SIZES:
+            assert dispatcher.estimate(backend, q) == brute_force_estimate(backend, q)
+
+
+def test_choice_is_argmin_of_brute_force_costs():
+    dispatcher = CostModelDispatcher()
+    for q in BATCH_SIZES:
+        expected = min(dispatcher.backends, key=lambda b: brute_force_estimate(b, q))
+        assert dispatcher.choose(q) is expected
+
+
+def test_cpu_serves_singletons_gpu_serves_bulk():
+    """The acceptance-criterion decision pair under the GTX 980 spec."""
+    dispatcher = CostModelDispatcher()
+    assert dispatcher.choose(1) is CPU_SEQUENTIAL_BACKEND
+    assert dispatcher.choose(100_000) is GPU_BATCH_BACKEND
+    assert dispatcher.choose(1).spec is XEON_X5650_SINGLE
+    assert dispatcher.choose(100_000).spec is GTX980
+
+
+def test_crossover_matches_linear_scan():
+    dispatcher = CostModelDispatcher()
+    crossover = dispatcher.crossover_batch_size()
+    assert crossover is not None
+    base = dispatcher.choose(1)
+    scan = next(q for q in range(1, 10_000) if dispatcher.choose(q) is not base)
+    assert crossover == scan
+    # The paper's Fig. 6 has the GPU overtaking the single-core CPU around
+    # batch ~100; the model should land in that decade.
+    assert 10 <= crossover <= 1_000
+
+
+def test_crossover_none_when_choice_never_flips():
+    single = CostModelDispatcher([CPU_SEQUENTIAL_BACKEND])
+    assert single.crossover_batch_size() is None
+
+
+def test_ties_go_to_the_earlier_backend():
+    twin = Backend(key="cpu1-twin", label="twin", spec=XEON_X5650_SINGLE,
+                   sequential=True)
+    dispatcher = CostModelDispatcher([CPU_SEQUENTIAL_BACKEND, twin])
+    assert dispatcher.choose(1) is CPU_SEQUENTIAL_BACKEND
+    assert dispatcher.choose(10_000) is CPU_SEQUENTIAL_BACKEND
+
+
+def test_estimate_equals_actual_query_charge():
+    """The dispatcher prices exactly what the execution layer charges."""
+    parents = random_attachment_tree(2_048, seed=11)
+    xs = np.arange(500, dtype=np.int64)
+    ys = np.arange(500, 1000, dtype=np.int64)
+
+    cpu = SequentialInlabelLCA(parents)
+    ctx = ExecutionContext(XEON_X5650_SINGLE)
+    cpu.query(xs, ys, ctx=ctx)
+    assert ctx.elapsed == estimate_batch_query_time(CPU_SEQUENTIAL_BACKEND, 500)
+
+    gpu = InlabelLCA(parents)
+    ctx = ExecutionContext(GTX980)
+    gpu.query(xs, ys, ctx=ctx)
+    assert ctx.elapsed == estimate_batch_query_time(GPU_BATCH_BACKEND, 500)
+
+
+def test_validation():
+    with pytest.raises(ServiceError):
+        CostModelDispatcher([])
+    with pytest.raises(ServiceError):
+        CostModelDispatcher([CPU_SEQUENTIAL_BACKEND, CPU_SEQUENTIAL_BACKEND])
+    with pytest.raises(ServiceError):
+        estimate_batch_query_time(GPU_BATCH_BACKEND, 0)

@@ -1,0 +1,273 @@
+"""Registry tests: store registration, LRU eviction order, hit/miss accounting."""
+
+import numpy as np
+import pytest
+
+from repro.device import GTX980, XEON_X5650_SINGLE, ExecutionContext
+from repro.errors import ServiceError
+from repro.graphs import CSRGraph
+from repro.graphs.generators import random_attachment_tree
+from repro.lca import InlabelLCA, SequentialInlabelLCA
+from repro.service import (
+    ArtifactKey,
+    ForestStore,
+    IndexRegistry,
+    artifact_nbytes,
+)
+
+from .conftest import random_connected_graph
+
+
+def make_store(*names, n=256):
+    store = ForestStore()
+    for i, name in enumerate(names):
+        store.add_tree(name, random_attachment_tree(n, seed=i))
+    return store
+
+
+# ----------------------------------------------------------------------
+# ForestStore
+# ----------------------------------------------------------------------
+
+def test_store_registration_and_access():
+    store = make_store("a")
+    assert store.has_tree("a") and not store.has_graph("a")
+    assert store.tree("a").size == 256
+    assert store.names == ["a"]
+
+
+def test_store_rejects_duplicates_and_bad_args():
+    store = make_store("a")
+    with pytest.raises(ServiceError):
+        store.add_tree("a", random_attachment_tree(16, seed=0))
+    with pytest.raises(ServiceError):
+        store.add_tree("", random_attachment_tree(16, seed=0))
+    with pytest.raises(ServiceError):
+        store.add_tree("b")  # neither parents nor loader
+    with pytest.raises(ServiceError):
+        store.add_tree("b", random_attachment_tree(16, seed=0),
+                       loader=lambda: random_attachment_tree(16, seed=0))
+    with pytest.raises(ServiceError):
+        store.tree("missing")
+
+
+def test_store_lazy_loader_failure_is_retryable():
+    attempts = []
+
+    def flaky():
+        attempts.append(1)
+        if len(attempts) == 1:
+            raise OSError("transient")
+        return random_attachment_tree(32, seed=6)
+
+    store = ForestStore()
+    store.add_tree("flaky", loader=flaky)
+    with pytest.raises(OSError):
+        store.tree("flaky")
+    # The failed load must not consume the loader: the next access retries
+    # and succeeds instead of raising a bare KeyError.
+    assert store.tree("flaky").size == 32
+    assert len(attempts) == 2
+
+
+def test_store_lazy_loader_honors_validate_flag():
+    from repro.errors import NotATreeError
+
+    store = ForestStore()
+    # Cyclic, rootless parent array: must be rejected at materialization.
+    store.add_tree("bad", loader=lambda: np.asarray([1, 2, 0]), validate=True)
+    with pytest.raises(NotATreeError):
+        store.tree("bad")
+    # Without the flag the same loader result is accepted as-is.
+    store.add_tree("unchecked", loader=lambda: np.asarray([1, 2, 0]))
+    assert store.tree("unchecked").tolist() == [1, 2, 0]
+
+
+def test_store_lazy_loader_called_exactly_once():
+    calls = []
+
+    def loader():
+        calls.append(1)
+        return random_attachment_tree(64, seed=5)
+
+    store = ForestStore()
+    store.add_tree("lazy", loader=loader)
+    assert calls == []
+    first = store.tree("lazy")
+    second = store.tree("lazy")
+    assert len(calls) == 1
+    assert first is second
+
+
+def test_store_graph_datasets():
+    store = ForestStore()
+    store.add_graph("g", random_connected_graph(128, 64, seed=1))
+    assert store.has_graph("g")
+    assert store.graph("g").num_nodes == 128
+
+
+# ----------------------------------------------------------------------
+# Hit / miss accounting
+# ----------------------------------------------------------------------
+
+def test_fetch_miss_then_hit_accounting():
+    registry = IndexRegistry(make_store("a"))
+    entry, hit = registry.fetch("a", "lca", GTX980)
+    assert not hit
+    assert isinstance(entry.artifact, InlabelLCA)
+    assert entry.nbytes > 0
+    assert entry.build_time_s > 0  # preprocessing was charged on GTX980
+
+    entry2, hit2 = registry.fetch("a", "lca", GTX980)
+    assert hit2 and entry2 is entry
+    assert (registry.hits, registry.misses, registry.evictions) == (1, 1, 0)
+    assert registry.hit_rate == 0.5
+    assert registry.bytes_in_use == entry.nbytes
+    assert registry.build_time_s == entry.build_time_s
+
+
+def test_device_spec_selects_algorithm_flavour_and_key():
+    registry = IndexRegistry(make_store("a"))
+    gpu = registry.get("a", "lca", GTX980)
+    cpu = registry.get("a", "lca", XEON_X5650_SINGLE)
+    assert isinstance(gpu, InlabelLCA)
+    assert isinstance(cpu, SequentialInlabelLCA)
+    # Distinct devices are distinct cache entries.
+    assert len(registry) == 2
+    assert registry.misses == 2
+
+
+def test_explicit_sequential_flag_overrides_spec_inference():
+    from repro.device import XEON_X5650_MULTI
+
+    registry = IndexRegistry(make_store("a"))
+    # A sequential backend on a multi-core spec must get the sequential
+    # algorithm (matching how the dispatcher priced it), not the parallel
+    # flavour the spec alone would suggest — and the two flavours on the
+    # same spec are distinct cache entries.
+    seq = registry.get("a", "lca", XEON_X5650_MULTI, sequential=True)
+    par = registry.get("a", "lca", XEON_X5650_MULTI, sequential=False)
+    assert isinstance(seq, SequentialInlabelLCA)
+    assert isinstance(par, InlabelLCA)
+    assert len(registry) == 2
+
+
+def test_external_context_is_charged_for_builds():
+    registry = IndexRegistry(make_store("a"))
+    ctx = ExecutionContext(GTX980)
+    entry, hit = registry.fetch("a", "lca", GTX980, ctx=ctx)
+    assert not hit
+    assert ctx.elapsed == pytest.approx(entry.build_time_s)
+
+
+def test_graph_artifact_kinds():
+    store = ForestStore()
+    store.add_graph("g", random_connected_graph(200, 100, seed=2))
+    registry = IndexRegistry(store)
+    csr = registry.get("g", "csr", GTX980)
+    assert isinstance(csr, CSRGraph)
+    bridges = registry.get("g", "bridges", GTX980)
+    assert bridges.num_bridges >= 0
+    assert registry.bytes_in_use >= csr.indptr.nbytes
+
+
+def test_unknown_kind_rejected():
+    registry = IndexRegistry(make_store("a"))
+    with pytest.raises(ServiceError):
+        registry.get("a", "nope", GTX980)
+
+
+# ----------------------------------------------------------------------
+# Byte accounting
+# ----------------------------------------------------------------------
+
+def test_artifact_nbytes_matches_structure_accounting():
+    parents = random_attachment_tree(512, seed=9)
+    algo = InlabelLCA(parents)
+    # The generic walker must find at least the seven structure tables, and
+    # the structure dataclass alone must account to exactly its own nbytes.
+    assert artifact_nbytes(algo.structure) == algo.structure.nbytes
+    assert artifact_nbytes(algo) >= algo.structure.nbytes
+
+
+def test_artifact_nbytes_counts_shared_arrays_once():
+    arr = np.zeros(1000, dtype=np.int64)
+    assert artifact_nbytes([arr, arr, {"again": arr}]) == arr.nbytes
+
+
+def test_artifact_nbytes_resolves_views_to_their_base():
+    arr = np.zeros(1000, dtype=np.int64)
+    assert artifact_nbytes([arr, arr[:], arr[:10]]) == arr.nbytes
+
+
+def test_bridge_result_nbytes_agrees_with_artifact_accounting():
+    store = ForestStore()
+    store.add_graph("g", random_connected_graph(150, 60, seed=3))
+    registry = IndexRegistry(store)
+    result = registry.get("g", "bridges", GTX980)
+    assert result.nbytes == artifact_nbytes(result)
+
+
+# ----------------------------------------------------------------------
+# LRU eviction
+# ----------------------------------------------------------------------
+
+def _entry_size():
+    probe = IndexRegistry(make_store("probe"))
+    entry, _ = probe.fetch("probe", "lca", GTX980)
+    return entry.nbytes
+
+
+def test_eviction_is_least_recently_used():
+    size = _entry_size()
+    registry = IndexRegistry(make_store("a", "b", "c"),
+                             capacity_bytes=int(2.5 * size))
+    registry.get("a", "lca", GTX980)
+    registry.get("b", "lca", GTX980)
+    # Refresh "a" so "b" becomes the least recently used...
+    registry.get("a", "lca", GTX980)
+    # ...then overflow: "b" must be the victim, not "a".
+    registry.get("c", "lca", GTX980)
+    cached = {key.dataset for key in registry.keys()}
+    assert cached == {"a", "c"}
+    assert registry.evictions == 1
+    assert registry.bytes_in_use <= int(2.5 * size)
+    # "b" is rebuilt on next access (a fresh miss).
+    misses_before = registry.misses
+    registry.get("b", "lca", GTX980)
+    assert registry.misses == misses_before + 1
+
+
+def test_lru_order_without_refresh_evicts_oldest():
+    size = _entry_size()
+    registry = IndexRegistry(make_store("a", "b", "c"),
+                             capacity_bytes=int(2.5 * size))
+    for name in ("a", "b", "c"):
+        registry.get(name, "lca", GTX980)
+    assert {key.dataset for key in registry.keys()} == {"b", "c"}
+
+
+def test_newest_entry_survives_even_when_oversized():
+    size = _entry_size()
+    registry = IndexRegistry(make_store("a", "b"), capacity_bytes=size // 4)
+    registry.get("a", "lca", GTX980)
+    registry.get("b", "lca", GTX980)
+    # Each insertion evicts everything else but is itself retained.
+    assert [key.dataset for key in registry.keys()] == ["b"]
+    assert registry.evictions == 1
+
+
+def test_clear_counts_evictions_and_contains():
+    registry = IndexRegistry(make_store("a"))
+    registry.get("a", "lca", GTX980)
+    key = ArtifactKey("a", "lca", GTX980.name, "parallel")
+    assert key in registry
+    registry.clear()
+    assert key not in registry
+    assert registry.evictions == 1
+    assert registry.bytes_in_use == 0
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ServiceError):
+        IndexRegistry(make_store("a"), capacity_bytes=0)
