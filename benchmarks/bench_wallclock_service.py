@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Wall-clock serving throughput: columnar submit_many vs the per-query loop.
+
+Unlike every other benchmark in this directory — which reports *modeled*
+device times on the simulated clock — this one measures **host wall-clock
+time**: how many queries per second this Python process actually sustains
+pushing a timed stream through ``submit → drain → results``.  That is the
+quantity the columnar fast path (ring-buffer scheduler, vectorized admission,
+ticket-indexed result tables) optimizes; modeled times are bit-identical
+between the two admission modes.
+
+Two modes are measured in the same run, on the same stream:
+
+* ``per-query`` — a Python loop of individual ``submit()`` calls, which is
+  exactly what ``submit_many`` did before the columnar refactor (the seed
+  baseline);
+* ``columnar`` — the vectorized ``submit_many`` block path.
+
+Outputs:
+
+* ``BENCH_service_wallclock.json`` (repo root) — machine-readable result,
+  uploaded as a CI artifact;
+* ``results/service_wallclock.txt`` — the rendered comparison table.
+
+Run with:  python benchmarks/bench_wallclock_service.py
+Options:   --queries N  --nodes N  --repeats R  --min-speedup X  --check
+Scale:     REPRO_BENCH_SCALE scales the default stream size, exactly as it
+           scales the instance sizes of the modeled benchmarks.
+
+The process exits non-zero when the columnar path fails to beat the
+per-query baseline by ``--min-speedup`` — CI runs this at small scale with
+``--min-speedup 1.0`` as a perf smoke test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.experiments.service_experiments import wallclock_serve_run
+from repro.graphs.generators import random_attachment_tree
+from repro.graphs.trees import generate_random_queries
+from repro.service import BatchPolicy
+
+from bench_util import BENCH_SCALE, RESULTS_DIR
+
+JSON_PATH = REPO_ROOT / "BENCH_service_wallclock.json"
+
+
+def measure(mode: str, parents, xs, ys, arrivals, policy, *, repeats: int,
+            check: bool):
+    """Best-of-``repeats`` wall-clock run for one admission mode."""
+    best = None
+    for _ in range(repeats):
+        row = wallclock_serve_run(parents, xs, ys, arrivals, policy,
+                                  mode=mode, check_answers=check)
+        if best is None or row["wall_qps"] > best["wall_qps"]:
+            best = row
+    return best
+
+
+def render_table(config, per_query, columnar, speedup: float) -> str:
+    lines = [
+        "Wall-clock serving throughput: submit -> drain -> results "
+        "(host time, not modeled time)",
+        f"tree nodes         : {config['nodes']}",
+        f"stream length      : {config['queries']} queries at "
+        f"{config['offered_qps']:,.0f} offered q/s",
+        f"policy             : batch<={config['max_batch_size']}, "
+        f"wait<={config['max_wait_s'] * 1e6:.0f}us",
+        f"repeats            : best of {config['repeats']}",
+        "",
+        f"{'mode':<12} {'wall s':>10} {'wall q/s':>14} {'batches':>9} "
+        f"{'mean batch':>11} {'modeled q/s':>13}",
+    ]
+    for row in (per_query, columnar):
+        lines.append(
+            f"{row['mode']:<12} {row['wall_s']:>10.4f} "
+            f"{row['wall_qps']:>14,.0f} {row['batches']:>9} "
+            f"{row['mean_batch']:>11.1f} {row['modeled_qps']:>13,.0f}"
+        )
+    lines += ["", f"columnar speedup   : {speedup:.1f}x host-side"]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", type=int,
+                        default=max(1000, int(100_000 * BENCH_SCALE)),
+                        help="stream length (default: 100k * REPRO_BENCH_SCALE)")
+    parser.add_argument("--nodes", type=int,
+                        default=max(1024, int(65_536 * BENCH_SCALE)),
+                        help="tree size (default: 65536 * REPRO_BENCH_SCALE)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="wall-clock repeats per mode (best is reported)")
+    parser.add_argument("--max-batch", type=int, default=1024)
+    parser.add_argument("--max-wait-us", type=float, default=200.0)
+    parser.add_argument("--rate-qps", type=float, default=5e6,
+                        help="offered (simulated) arrival rate")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="exit non-zero when columnar/per-query falls "
+                             "below this ratio")
+    parser.add_argument("--check", action="store_true",
+                        help="verify answers against the binary-lifting oracle")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    parents = random_attachment_tree(args.nodes, seed=args.seed)
+    xs, ys = generate_random_queries(args.nodes, args.queries,
+                                     seed=args.seed + 1)
+    arrivals = np.arange(args.queries, dtype=np.float64) / args.rate_qps
+    policy = BatchPolicy(max_batch_size=args.max_batch,
+                         max_wait_s=args.max_wait_us * 1e-6)
+    config = {
+        "nodes": args.nodes,
+        "queries": args.queries,
+        "offered_qps": args.rate_qps,
+        "max_batch_size": args.max_batch,
+        "max_wait_s": args.max_wait_us * 1e-6,
+        "repeats": args.repeats,
+        "bench_scale": BENCH_SCALE,
+        "seed": args.seed,
+    }
+
+    per_query = measure("per-query", parents, xs, ys, arrivals, policy,
+                        repeats=args.repeats, check=args.check)
+    columnar = measure("columnar", parents, xs, ys, arrivals, policy,
+                       repeats=args.repeats, check=args.check)
+    speedup = columnar["wall_qps"] / per_query["wall_qps"]
+
+    table = render_table(config, per_query, columnar, speedup)
+    print(table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "service_wallclock.txt").write_text(table + "\n",
+                                                      encoding="utf-8")
+    payload = {
+        "benchmark": "service_wallclock",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": config,
+        "runs": {"per_query": per_query, "columnar": columnar},
+        "speedup": speedup,
+        "min_speedup": args.min_speedup,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n",
+                         encoding="utf-8")
+    print(f"\nwrote {JSON_PATH} and {RESULTS_DIR / 'service_wallclock.txt'}")
+
+    if speedup < args.min_speedup:
+        print(f"FAIL: columnar speedup {speedup:.2f}x is below the required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,7 +38,7 @@ import numpy as np
 from ..device import ExecutionContext, ensure_context
 from ..errors import InvalidQueryError
 from ..euler import TreeStats, tree_statistics_from_parents
-from ..graphs.trees import validate_parents
+from ..graphs.trees import query_bounds_mask, validate_parents
 from ..primitives import elementwise
 
 __all__ = [
@@ -56,12 +56,6 @@ def _ilog2(x: np.ndarray) -> np.ndarray:
     x = np.asarray(x, dtype=np.int64)
     _, exp = np.frexp(x.astype(np.float64))
     return (exp - 1).astype(np.int64)
-
-
-def _trailing_zeros(x: np.ndarray) -> np.ndarray:
-    """Elementwise count of trailing zero bits of positive integers."""
-    x = np.asarray(x, dtype=np.int64)
-    return _ilog2(x & (-x))
 
 
 @dataclass
@@ -155,7 +149,9 @@ def build_inlabel_structure(stats: TreeStats,
     # so on the device one thread per node walks head-to-head inside a single
     # kernel; the lockstep rounds below vectorize that walk and the cost is
     # charged once with the total number of hops as the work.
-    ascendant = (np.int64(1) << _trailing_zeros(inlabel)).astype(np.int64)
+    # ``x & -x`` isolates the lowest set bit directly — the same value as
+    # ``1 << trailing_zeros(x)`` without the float round-trip through frexp.
+    ascendant = inlabel & -inlabel
     # jump[v]: the node just above v's inlabel path (parent of the path head),
     # or -1 when the path contains the root.
     path_head = head[inlabel]
@@ -168,8 +164,9 @@ def build_inlabel_structure(stats: TreeStats,
         if not active.any():
             break
         tgt = jump[active]
-        ascendant[active] |= np.int64(1) << _trailing_zeros(inlabel[tgt])
-        tgt_head = head[inlabel[tgt]]
+        tgt_inlabel = inlabel[tgt]
+        ascendant[active] |= tgt_inlabel & -tgt_inlabel
+        tgt_head = head[tgt_inlabel]
         new_jump = np.where(tgt_head == root, -1, parent[np.maximum(tgt_head, 0)])
         jump[active] = new_jump
         total_hops += int(active.sum())
@@ -218,7 +215,9 @@ def _query_inlabel(structure: InlabelStructure, xs: np.ndarray, ys: np.ndarray
     if xs.size == 0:
         return np.empty(0, dtype=np.int64)
     n = structure.n
-    if xs.min() < 0 or xs.max() >= n or ys.min() < 0 or ys.max() >= n:
+    # Single fused bounds check (uint64 reinterpretation) instead of the
+    # four separate min/max reduction passes over the query arrays.
+    if query_bounds_mask(xs, ys, n).any():
         raise InvalidQueryError("query nodes out of range")
 
     ix = inlabel[xs]
@@ -236,13 +235,17 @@ def _query_inlabel(structure: InlabelStructure, xs: np.ndarray, ys: np.ndarray
         dy = ys[diff]
         ixd = ix[diff]
         iyd = iy[diff]
-        # i: highest bit where the inlabels differ; j: the lowest common
-        # ascendant level at or above i — the B-level of the LCA's inlabel.
+        # i: highest bit where the inlabels differ; low_j: the lowest common
+        # ascendant level at or above i — the B-level bit of the LCA's
+        # inlabel.  ``x & -x`` isolates it directly; no trailing-zero count
+        # (and its frexp float round-trip) is needed, because every use of
+        # the level j below only ever needs the bit ``1 << j`` or the mask
+        # ``(1 << j) - 1``.
         i = _ilog2(ixd ^ iyd)
         common = ascendant[dx] & ascendant[dy]
         common_high = (common >> i) << i
-        j = _trailing_zeros(common_high)
-        inlabel_z = ((ixd >> (j + 1)) << (j + 1)) | (np.int64(1) << j)
+        low_j = common_high & -common_high
+        inlabel_z = (ixd & ~((low_j << 1) - 1)) | low_j
 
         def climb(nodes: np.ndarray, node_inlabels: np.ndarray) -> np.ndarray:
             """Lowest ancestor of each node whose inlabel equals inlabel_z."""
@@ -250,14 +253,13 @@ def _query_inlabel(structure: InlabelStructure, xs: np.ndarray, ys: np.ndarray
             needs_climb = node_inlabels != inlabel_z
             if needs_climb.any():
                 nn = nodes[needs_climb]
-                jj = j[needs_climb]
                 # Highest ascendant level of the node strictly below j: the
                 # inlabel path entered just below the LCA's path.
-                below = ascendant[nn] & ((np.int64(1) << jj) - 1)
+                below = ascendant[nn] & (low_j[needs_climb] - 1)
                 k = _ilog2(below)
-                inlabel_w = ((node_inlabels[needs_climb] >> (k + 1)) << (k + 1)) | (
-                    np.int64(1) << k
-                )
+                high_k = np.int64(1) << k
+                inlabel_w = (node_inlabels[needs_climb]
+                             & ~((high_k << 1) - 1)) | high_k
                 w = head[inlabel_w]
                 out[needs_climb] = parent[w]
             return out

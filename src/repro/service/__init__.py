@@ -10,14 +10,20 @@ bulk; this subpackage turns that observation into a serving architecture:
 * :class:`~repro.service.scheduler.MicroBatchScheduler` — coalesces single
   queries into batches under a max-size / max-wait
   :class:`~repro.service.scheduler.BatchPolicy`, on a deterministic
-  :class:`~repro.service.clock.SimulatedClock`;
+  :class:`~repro.service.clock.SimulatedClock`; storage is columnar
+  (pending queries live in preallocated parallel NumPy buffers, flushes are
+  zero-copy slices) and ``submit_block`` admits whole arrival blocks with
+  array arithmetic;
 * :class:`~repro.service.dispatch.CostModelDispatcher` — prices every batch
   on each candidate :class:`~repro.service.dispatch.Backend` with the device
   roofline model and picks the cheapest (CPU for singletons, GPU for bulk);
 * :class:`~repro.service.stats.ServiceStats` — throughput, p50/p99 modeled
   latency, batch-size histogram, flush-trigger and cache accounting;
 * :class:`~repro.service.service.LCAQueryService` — the façade wiring all of
-  the above together.
+  the above together; tickets index growable columnar answer/latency tables,
+  so ``submit_many`` admission and ``results``/``latencies`` resolution are
+  vectorized end to end (``submit`` is a single-row wrapper over the same
+  core).
 """
 
 from .clock import SimulatedClock

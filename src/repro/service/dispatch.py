@@ -111,6 +111,11 @@ class CostModelDispatcher:
             raise ServiceError(f"backend keys must be unique, got {keys}")
         self.backends: Tuple[Backend, ...] = tuple(backends)
         self.cost = cost
+        # choose() is a pure function of the batch size (backends and cost
+        # are fixed at construction) and the service consults it once per
+        # flush; realized batch sizes repeat heavily, so memoizing turns the
+        # per-flush decision into one dict probe.
+        self._choice_cache: dict = {}
 
     def estimate(self, backend: Backend, batch_size: int) -> float:
         """Modeled serving time of one batch on ``backend``."""
@@ -122,7 +127,11 @@ class CostModelDispatcher:
 
     def choose(self, batch_size: int) -> Backend:
         """The backend with the smallest modeled time (ties: earliest listed)."""
-        return min(self.estimates(batch_size), key=lambda pair: pair[1])[0]
+        choice = self._choice_cache.get(batch_size)
+        if choice is None:
+            choice = min(self.estimates(batch_size), key=lambda pair: pair[1])[0]
+            self._choice_cache[batch_size] = choice
+        return choice
 
     def crossover_batch_size(self, *, max_batch: int = 1 << 24) -> Optional[int]:
         """Smallest batch size whose choice differs from the batch-size-1 choice.

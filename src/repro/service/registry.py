@@ -284,7 +284,20 @@ class IndexRegistry:
             if sequential is None:
                 sequential = spec.kind == "cpu" and spec.cores == 1
             variant = "sequential" if sequential else "parallel"
-        key = ArtifactKey(dataset, kind, spec.name, variant)
+        return self.fetch_by_key(ArtifactKey(dataset, kind, spec.name, variant),
+                                 spec=spec, ctx=ctx)
+
+    def fetch_by_key(self, key: ArtifactKey, *, spec: Optional[DeviceSpec] = None,
+                     ctx: Optional[ExecutionContext] = None
+                     ) -> Tuple[CacheEntry, bool]:
+        """Keyed fast path of :meth:`fetch` for callers that hold a prebuilt key.
+
+        The service layer memoizes one :class:`ArtifactKey` per
+        (dataset, backend) pair, so its per-batch cache lookup is a single
+        dict probe with no key construction or variant resolution.  ``spec``
+        is only needed on a miss (to build and charge the artifact), so it
+        must be passed whenever the entry might not be cached.
+        """
         entry = self._cache.get(key)
         if entry is not None:
             self._hits += 1
@@ -293,6 +306,11 @@ class IndexRegistry:
             return entry, True
 
         self._misses += 1
+        if spec is None:
+            raise ServiceError(
+                f"artifact {key} is not cached and no device spec was given "
+                f"to build it"
+            )
         build_ctx = ctx if ctx is not None else ExecutionContext(spec)
         before = build_ctx.elapsed
         artifact = self._build(key, spec, build_ctx)

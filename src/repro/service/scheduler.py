@@ -18,6 +18,15 @@ All timing uses the :class:`~repro.service.clock.SimulatedClock`, so flush
 decisions are deterministic functions of the arrival timestamps: a
 wait-triggered flush fires at exactly ``oldest_arrival + max_wait_s``, never
 "roughly when the event loop got around to it".
+
+Storage is *columnar*: the pending queue is four parallel preallocated NumPy
+arrays (tickets / xs / ys / arrivals) with head and tail cursors, not a list
+of per-query objects.  A flush is a zero-copy slice of those arrays, and
+:meth:`MicroBatchScheduler.submit_block` admits a whole column block of
+queries with array arithmetic — the per-query :meth:`MicroBatchScheduler.submit`
+is a single-row write into the same buffers.  When a buffer fills, a fresh
+one is allocated and the (small) pending window copied over; the old buffer
+is left untouched so every previously flushed slice stays valid.
 """
 
 from __future__ import annotations
@@ -31,6 +40,11 @@ from ..errors import ServiceError
 from .clock import SimulatedClock
 
 __all__ = ["BatchPolicy", "PendingQuery", "FlushedBatch", "MicroBatchScheduler"]
+
+#: Buffer sizing bounds: large enough to amortize refills, small enough that
+#: a scheduler over a huge ``max_batch_size`` does not preallocate gigabytes.
+_MIN_BUFFER = 64
+_MAX_INITIAL_BUFFER = 1 << 16
 
 
 @dataclass(frozen=True)
@@ -55,7 +69,12 @@ class BatchPolicy:
 
 @dataclass(frozen=True)
 class PendingQuery:
-    """One queued LCA query with its arrival time."""
+    """One queued LCA query with its arrival time.
+
+    The scheduler stores pending queries columnarly; this record is the
+    row-wise view :attr:`MicroBatchScheduler.pending` materializes for
+    introspection and debugging.
+    """
 
     ticket: int
     x: int
@@ -65,7 +84,12 @@ class PendingQuery:
 
 @dataclass(frozen=True)
 class FlushedBatch:
-    """A batch handed to the execution backend, with full timing provenance."""
+    """A batch handed to the execution backend, with full timing provenance.
+
+    The arrays are zero-copy views into the scheduler's column buffers; the
+    scheduler never overwrites a flushed region, so they remain valid for as
+    long as the caller keeps them.
+    """
 
     tickets: np.ndarray
     xs: np.ndarray
@@ -93,13 +117,57 @@ class MicroBatchScheduler:
     through a backend.  ``submit`` and ``advance_to`` may each produce several
     batches: advancing time far enough can expire several wait deadlines, and
     a submission can both expire old queries and complete a full batch.
+
+    Internally the pending queue is a window ``[head, tail)`` over four
+    parallel column buffers.  Two invariants keep the bookkeeping simple:
+
+    * the pending count never exceeds ``max_batch_size`` between public
+      calls (a submission that fills a batch flushes it immediately), and
+    * flushed regions are never overwritten — exhausting a buffer allocates
+      a fresh one rather than wrapping, so flushes are true zero-copy slices.
     """
 
     def __init__(self, policy: Optional[BatchPolicy] = None, *,
                  clock: Optional[SimulatedClock] = None) -> None:
         self.policy = policy or BatchPolicy()
         self.clock = clock or SimulatedClock()
-        self._pending: List[PendingQuery] = []
+        self._head = 0
+        self._tail = 0
+        self._allocate(self._initial_capacity())
+
+    def _initial_capacity(self) -> int:
+        return max(_MIN_BUFFER,
+                   min(2 * self.policy.max_batch_size, _MAX_INITIAL_BUFFER))
+
+    def _allocate(self, capacity: int) -> None:
+        """Install fresh column buffers, migrating the pending window.
+
+        The previous buffers are *not* reused: any flushed slices handed out
+        earlier alias them, and NumPy keeps the backing memory alive for
+        exactly as long as those views exist.
+        """
+        tickets = np.empty(capacity, dtype=np.int64)
+        xs = np.empty(capacity, dtype=np.int64)
+        ys = np.empty(capacity, dtype=np.int64)
+        arrival = np.empty(capacity, dtype=np.float64)
+        pending = self._tail - self._head
+        if pending:
+            h, t = self._head, self._tail
+            tickets[:pending] = self._tickets[h:t]
+            xs[:pending] = self._xs[h:t]
+            ys[:pending] = self._ys[h:t]
+            arrival[:pending] = self._arrival[h:t]
+        self._tickets, self._xs, self._ys, self._arrival = tickets, xs, ys, arrival
+        self._head, self._tail = 0, pending
+        self._capacity = capacity
+
+    def _ensure_room(self, count: int) -> None:
+        if self._tail + count <= self._capacity:
+            return
+        pending = self._tail - self._head
+        needed = pending + count
+        capacity = max(self._initial_capacity(), 2 * needed)
+        self._allocate(capacity)
 
     # ------------------------------------------------------------------
     # State
@@ -107,14 +175,24 @@ class MicroBatchScheduler:
     @property
     def pending_count(self) -> int:
         """Number of queries currently queued."""
-        return len(self._pending)
+        return self._tail - self._head
 
     @property
     def next_deadline(self) -> Optional[float]:
         """Instant at which the oldest pending query must be flushed."""
-        if not self._pending:
+        if self._tail == self._head:
             return None
-        return self._pending[0].arrival_s + self.policy.max_wait_s
+        return float(self._arrival[self._head]) + self.policy.max_wait_s
+
+    @property
+    def pending(self) -> List[PendingQuery]:
+        """Row-wise snapshot of the queued queries (introspection only)."""
+        h, t = self._head, self._tail
+        return [
+            PendingQuery(int(self._tickets[i]), int(self._xs[i]),
+                         int(self._ys[i]), float(self._arrival[i]))
+            for i in range(h, t)
+        ]
 
     # ------------------------------------------------------------------
     # Submission and time
@@ -133,10 +211,69 @@ class MicroBatchScheduler:
         # the pending queue's deadline still joins that batch (and with
         # max_wait_s=0 this is what lets same-instant arrivals coalesce).
         flushed = self._flush_expired(t, include_equal=False)
-        self._pending.append(PendingQuery(int(ticket), int(x), int(y), t))
-        if len(self._pending) >= self.policy.max_batch_size:
+        self._ensure_room(1)
+        i = self._tail
+        self._tickets[i] = ticket
+        self._xs[i] = x
+        self._ys[i] = y
+        self._arrival[i] = t
+        self._tail = i + 1
+        if self._tail - self._head >= self.policy.max_batch_size:
             flushed.append(self._flush(t, "size"))
         return flushed
+
+    def submit_block(self, tickets: np.ndarray, xs: np.ndarray, ys: np.ndarray,
+                     arrival_s: np.ndarray) -> List[FlushedBatch]:
+        """Admit a column block of queries, returning every batch it flushed.
+
+        Observationally equivalent to calling :meth:`submit` once per row, but
+        the admission runs in bulk: the block is cut at wait deadlines and
+        batch-size boundaries with array arithmetic, and each cut is copied
+        into the pending buffers with one slice assignment.  The loop below
+        iterates once per *flush*, not once per query.
+
+        ``arrival_s`` must be non-decreasing and start at or after the current
+        simulated time (the same monotonicity :meth:`submit` enforces through
+        the clock).  The caller is expected to have validated the queries.
+        """
+        count = int(arrival_s.size)
+        if count == 0:
+            return []
+        if float(arrival_s[0]) < self.clock.now:
+            raise ServiceError(
+                f"cannot move the clock backwards (now={self.clock.now}, "
+                f"requested={float(arrival_s[0])})"
+            )
+        max_batch = self.policy.max_batch_size
+        wait = self.policy.max_wait_s
+        out: List[FlushedBatch] = []
+        p = 0
+        while p < count:
+            have = self._tail - self._head
+            if have:
+                deadline = float(self._arrival[self._head]) + wait
+                if float(arrival_s[p]) > deadline:
+                    out.append(self._flush(deadline, "wait"))
+                    continue
+            else:
+                deadline = float(arrival_s[p]) + wait
+            # Every query arriving at or before the pending window's deadline
+            # joins it (arrival exactly at the deadline still joins — the
+            # same include_equal=False rule as the per-query path).
+            join = int(np.searchsorted(arrival_s, deadline, side="right"))
+            take = min(join - p, max_batch - have)
+            self._ensure_room(take)
+            t0, t1 = self._tail, self._tail + take
+            self._tickets[t0:t1] = tickets[p:p + take]
+            self._xs[t0:t1] = xs[p:p + take]
+            self._ys[t0:t1] = ys[p:p + take]
+            self._arrival[t0:t1] = arrival_s[p:p + take]
+            self._tail = t1
+            p += take
+            if self._tail - self._head >= max_batch:
+                out.append(self._flush(float(arrival_s[p - 1]), "size"))
+        self.clock.advance_to(float(arrival_s[-1]))
+        return out
 
     def advance_to(self, t: float, *, include_equal: bool = True
                    ) -> List[FlushedBatch]:
@@ -152,7 +289,7 @@ class MicroBatchScheduler:
     def drain(self) -> List[FlushedBatch]:
         """Force out everything still pending (at the current time)."""
         out: List[FlushedBatch] = []
-        while self._pending:
+        while self._tail > self._head:
             out.append(self._flush(self.clock.now, "drain"))
         return out
 
@@ -162,8 +299,8 @@ class MicroBatchScheduler:
     def _flush_expired(self, t: float, *, include_equal: bool = True
                        ) -> List[FlushedBatch]:
         out: List[FlushedBatch] = []
-        while self._pending:
-            deadline = self._pending[0].arrival_s + self.policy.max_wait_s
+        while self._tail > self._head:
+            deadline = float(self._arrival[self._head]) + self.policy.max_wait_s
             if deadline > t or (deadline == t and not include_equal):
                 break
             # The flush happens at the deadline itself, not at t: with a
@@ -172,13 +309,14 @@ class MicroBatchScheduler:
         return out
 
     def _flush(self, flush_s: float, trigger: str) -> FlushedBatch:
-        take = min(len(self._pending), self.policy.max_batch_size)
-        batch, self._pending = self._pending[:take], self._pending[take:]
+        take = min(self._tail - self._head, self.policy.max_batch_size)
+        h = self._head
+        self._head = h + take
         return FlushedBatch(
-            tickets=np.asarray([p.ticket for p in batch], dtype=np.int64),
-            xs=np.asarray([p.x for p in batch], dtype=np.int64),
-            ys=np.asarray([p.y for p in batch], dtype=np.int64),
-            arrival_s=np.asarray([p.arrival_s for p in batch], dtype=np.float64),
+            tickets=self._tickets[h:h + take],
+            xs=self._xs[h:h + take],
+            ys=self._ys[h:h + take],
+            arrival_s=self._arrival[h:h + take],
             flush_s=float(flush_s),
             trigger=trigger,
         )

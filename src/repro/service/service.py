@@ -1,9 +1,9 @@
 """The query service: registry + micro-batch scheduler + dispatcher, wired up.
 
 :class:`LCAQueryService` is the subsystem's front door.  Callers register
-named trees, submit individual LCA queries with arrival timestamps, and read
-back answers by ticket; internally each dataset gets a
-:class:`~repro.service.scheduler.MicroBatchScheduler` (all sharing one
+named trees, submit LCA queries (one at a time or as column blocks) with
+arrival timestamps, and read back answers by ticket; internally each dataset
+gets a :class:`~repro.service.scheduler.MicroBatchScheduler` (all sharing one
 simulated clock), every flushed batch is priced by the
 :class:`~repro.service.dispatch.CostModelDispatcher` and executed on the
 chosen backend's algorithm fetched from — or lazily built into — the
@@ -21,23 +21,35 @@ Each backend is a single serially occupied device: a batch starts at
 ``max(flush_time, backend_free_time)``, so offered load beyond a backend's
 modeled capacity shows up as growing queueing delay and saturating delivered
 throughput rather than as impossible numbers.
+
+Host-side, the hot path is *columnar*: tickets are consecutive integers
+indexing growable answer/latency tables (so storing a served batch and
+resolving :meth:`LCAQueryService.results` are single fancy-indexing
+operations), and :meth:`LCAQueryService.submit_many` admits a whole arrival
+block through :meth:`MicroBatchScheduler.submit_block` instead of looping
+over Python objects — the host cost of forming a batch no longer dwarfs the
+modeled kernel cost being scheduled.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..device import ExecutionContext
 from ..errors import InvalidQueryError, ServiceError
+from ..graphs.trees import query_bounds_mask
 from .clock import SimulatedClock
 from .dispatch import CostModelDispatcher
-from .registry import ForestStore, IndexRegistry
+from .registry import ArtifactKey, ForestStore, IndexRegistry
 from .scheduler import BatchPolicy, FlushedBatch, MicroBatchScheduler
-from .stats import ServiceStats, StatsCollector
+from .stats import ServiceStats, StatsCollector, grow_table
 
 __all__ = ["LCAQueryService"]
+
+#: Initial ticket-table capacity (grows by doubling).
+_MIN_TICKET_TABLE = 1024
 
 
 class LCAQueryService:
@@ -64,8 +76,8 @@ class LCAQueryService:
     >>> from repro.service import LCAQueryService
     >>> svc = LCAQueryService()
     >>> svc.register_tree("t", random_attachment_tree(64, seed=0))
-    >>> tickets = [svc.submit("t", x, y, at=i * 1e-6)
-    ...            for i, (x, y) in enumerate([(1, 2), (3, 4), (5, 6)])]
+    >>> tickets = svc.submit_many("t", [1, 3, 5], [2, 4, 6],
+    ...                           at=np.arange(3) * 1e-6)
     >>> svc.drain()
     >>> answers = svc.results(tickets)
     """
@@ -82,9 +94,17 @@ class LCAQueryService:
         self.dispatcher = dispatcher or CostModelDispatcher()
         self.stats_collector = StatsCollector()
         self._schedulers: Dict[str, MicroBatchScheduler] = {}
-        self._results: Dict[int, int] = {}
-        self._latencies: Dict[int, float] = {}
+        self._dataset_rank: Dict[str, int] = {}
         self._next_ticket = 0
+        # Ticket-indexed columnar result tables: tickets are consecutive
+        # integers, so answers/latencies live in flat arrays and a batch of
+        # results is stored (and read back) with one fancy-indexing op.
+        self._answers = np.empty(_MIN_TICKET_TABLE, dtype=np.int64)
+        self._latencies = np.empty(_MIN_TICKET_TABLE, dtype=np.float64)
+        self._answered = np.zeros(_MIN_TICKET_TABLE, dtype=bool)
+        # Memoized (dataset, backend) -> ArtifactKey for the registry's keyed
+        # fast path; rebuilt lazily, invalidation-free (keys are pure values).
+        self._artifact_keys: Dict[Tuple[str, str], ArtifactKey] = {}
         # When each backend's (single, serially occupied) device next comes
         # free; batches queue behind it.
         self._backend_free_s: Dict[str, float] = {}
@@ -92,18 +112,22 @@ class LCAQueryService:
         # immediately — they get schedulers just like register_tree()'d ones.
         for name in self.store.names:
             if self.store.has_tree(name):
-                self._schedulers[name] = MicroBatchScheduler(self.policy,
-                                                             clock=self.clock)
+                self._add_scheduler(name)
 
     # ------------------------------------------------------------------
     # Dataset management
     # ------------------------------------------------------------------
+    def _add_scheduler(self, name: str) -> None:
+        self._dataset_rank[name] = len(self._schedulers)
+        self._schedulers[name] = MicroBatchScheduler(self.policy,
+                                                     clock=self.clock)
+
     def register_tree(self, name: str, parents: Optional[np.ndarray] = None, *,
                       loader: Optional[Callable[[], np.ndarray]] = None,
                       validate: bool = False) -> None:
         """Register a named tree and give it a scheduler."""
         self.store.add_tree(name, parents, loader=loader, validate=validate)
-        self._schedulers[name] = MicroBatchScheduler(self.policy, clock=self.clock)
+        self._add_scheduler(name)
 
     @property
     def datasets(self) -> List[str]:
@@ -142,6 +166,7 @@ class LCAQueryService:
             self._serve(name, batch)
         ticket = self._next_ticket
         self._next_ticket += 1
+        self._ensure_ticket_capacity(self._next_ticket)
         self.stats_collector.record_submit()
         for batch in scheduler.submit(ticket, x, y):
             self._serve(dataset, batch)
@@ -149,12 +174,22 @@ class LCAQueryService:
 
     def submit_many(self, dataset: str, xs: np.ndarray, ys: np.ndarray, *,
                     at: Optional[np.ndarray] = None) -> np.ndarray:
-        """Submit a stream of single queries; returns their tickets.
+        """Submit a column block of single queries; returns their tickets.
 
-        This is a convenience loop over :meth:`submit` — each query still goes
-        through the scheduler individually (it is *not* a pre-formed batch).
-        ``at`` optionally gives each query its own arrival timestamp.
+        Observationally equivalent to calling :meth:`submit` once per query —
+        each query is still an individual arrival seen by the scheduler, *not*
+        a pre-formed batch — but admission is columnar: the block is validated
+        with vectorized comparisons, cut into flush-sized chunks by
+        :meth:`MicroBatchScheduler.submit_block`, and every resulting batch is
+        served in the same global flush-time order the per-query path
+        produces.  ``at`` optionally gives each query its own (non-decreasing)
+        arrival timestamp.
+
+        Error semantics match the per-query loop exactly: an out-of-range
+        query or a backwards arrival raises at its own position, after every
+        query before it has been admitted (and possibly served).
         """
+        scheduler = self._scheduler(dataset)
         xs = np.atleast_1d(np.asarray(xs, dtype=np.int64))
         ys = np.atleast_1d(np.asarray(ys, dtype=np.int64))
         if xs.shape != ys.shape:
@@ -163,12 +198,51 @@ class LCAQueryService:
             at = np.atleast_1d(np.asarray(at, dtype=np.float64))
             if at.shape != xs.shape:
                 raise ServiceError("timestamp array must match the query arrays")
-        tickets = np.empty(xs.size, dtype=np.int64)
-        for i in range(xs.size):
-            tickets[i] = self.submit(
-                dataset, int(xs[i]), int(ys[i]),
-                at=None if at is None else float(at[i]),
+        if xs.size == 0:
+            return np.empty(0, dtype=np.int64)
+        n = self.store.tree(dataset).size
+        if at is None:
+            arrivals = np.full(xs.size, self.clock.now, dtype=np.float64)
+        else:
+            arrivals = at
+
+        # Admissible prefix: one fused bounds check finds every out-of-range
+        # query; a backwards arrival is an adjacent-difference check.  The
+        # per-query loop raises at the first offending index after admitting
+        # everything before it — replicate that by admitting the clean
+        # prefix, then raising the same error.
+        bad = query_bounds_mask(xs, ys, n)
+        stop = int(xs.size)
+        error: Optional[Exception] = None
+        if bad.any():
+            stop = int(bad.argmax())
+            error = InvalidQueryError(
+                f"query nodes ({xs[stop]}, {ys[stop]}) out of range for "
+                f"dataset {dataset!r} with {n} nodes"
             )
+        moved_back = np.empty(xs.size, dtype=bool)
+        moved_back[0] = arrivals[0] < self.clock.now
+        np.less(arrivals[1:], arrivals[:-1], out=moved_back[1:])
+        if moved_back[:stop].any():
+            stop = int(moved_back.argmax())
+            prev = self.clock.now if stop == 0 else float(arrivals[stop - 1])
+            error = ServiceError(
+                f"cannot move the clock backwards (now={prev}, "
+                f"requested={float(arrivals[stop])})"
+            )
+
+        tickets = np.arange(self._next_ticket, self._next_ticket + stop,
+                            dtype=np.int64)
+        if stop:
+            self._next_ticket += stop
+            self._ensure_ticket_capacity(self._next_ticket)
+            self.stats_collector.record_submit(stop)
+            own = scheduler.submit_block(tickets, xs[:stop], ys[:stop],
+                                         arrivals[:stop])
+            self._serve_in_submission_order(dataset, own, arrivals[:stop],
+                                            int(tickets[0]))
+        if error is not None:
+            raise error
         return tickets
 
     def advance_to(self, t: float) -> None:
@@ -187,24 +261,45 @@ class LCAQueryService:
     # ------------------------------------------------------------------
     def result(self, ticket: int) -> int:
         """The answer for one ticket (its batch must have been served)."""
-        try:
-            return self._results[int(ticket)]
-        except KeyError:
-            if 0 <= int(ticket) < self._next_ticket:
-                raise ServiceError(
-                    f"ticket {ticket} is still queued; advance time or drain()"
-                ) from None
-            raise ServiceError(f"unknown ticket {ticket}") from None
+        t = int(ticket)
+        if not 0 <= t < self._next_ticket:
+            raise ServiceError(f"unknown ticket {ticket}")
+        if not self._answered[t]:
+            raise ServiceError(
+                f"ticket {ticket} is still queued; advance time or drain()"
+            )
+        return int(self._answers[t])
 
     def results(self, tickets) -> np.ndarray:
-        """Vector of answers for a sequence of tickets."""
-        return np.asarray([self.result(t) for t in np.atleast_1d(tickets)],
-                          dtype=np.int64)
+        """Vector of answers for a sequence of tickets (one table lookup).
+
+        Raises :class:`ServiceError` exactly as :meth:`result` would for the
+        first unknown or still-queued ticket in the sequence.
+        """
+        idx = np.atleast_1d(np.asarray(tickets)).astype(np.int64, copy=False)
+        if idx.size == 0:
+            return np.empty(0, dtype=np.int64)
+        unknown = (idx < 0) | (idx >= self._next_ticket)
+        if unknown.any():
+            raise ServiceError(f"unknown ticket {idx[int(unknown.argmax())]}")
+        queued = ~self._answered[idx]
+        if queued.any():
+            raise ServiceError(
+                f"ticket {idx[int(queued.argmax())]} is still queued; "
+                f"advance time or drain()"
+            )
+        return self._answers[idx]
 
     def latency(self, ticket: int) -> float:
         """Modeled end-to-end latency of one answered query."""
         self.result(ticket)  # raises uniformly for unknown/queued tickets
-        return self._latencies[int(ticket)]
+        return float(self._latencies[int(ticket)])
+
+    def latencies(self, tickets) -> np.ndarray:
+        """Vector of modeled latencies for a sequence of answered tickets."""
+        idx = np.atleast_1d(np.asarray(tickets)).astype(np.int64, copy=False)
+        self.results(idx)  # same validation as results()
+        return self._latencies[idx] if idx.size else np.empty(0, dtype=np.float64)
 
     def pending_count(self, dataset: Optional[str] = None) -> int:
         """Queries currently queued (for one dataset, or in total)."""
@@ -219,6 +314,16 @@ class LCAQueryService:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _ensure_ticket_capacity(self, needed: int) -> None:
+        if needed <= self._answers.size:
+            return
+        # Callers bump _next_ticket before growing, so the count of live
+        # slots can already exceed the old capacity — copy the whole table.
+        used = self._answers.size
+        self._answers = grow_table(self._answers, used, needed)
+        self._latencies = grow_table(self._latencies, used, needed)
+        self._answered = grow_table(self._answered, used, needed)
+
     def _scheduler(self, dataset: str) -> MicroBatchScheduler:
         try:
             return self._schedulers[dataset]
@@ -247,10 +352,59 @@ class LCAQueryService:
         collected.sort(key=lambda item: item[1].flush_s)
         return collected
 
+    def _serve_in_submission_order(self, dataset: str, own: List[FlushedBatch],
+                                   arrivals: np.ndarray, first_ticket: int
+                                   ) -> None:
+        """Serve a block's own batches plus other datasets' expired ones.
+
+        The per-query path serves batches at well-defined points of the
+        submission loop: at query ``i`` it first serves every batch whose
+        wait deadline the arrival reached — the submitted dataset's strictly
+        (deadline < t_i), other datasets' inclusively (deadline <= t_i), all
+        sorted by flush time with ties broken by dataset registration order —
+        and then the size-completed batch the arriving query just filled, if
+        any.  Reconstruct exactly that order from the merged batch lists:
+        each batch gets (serving query index, phase, flush time, dataset
+        rank) as its sort key, where phase 0 is the deadline sweep and
+        phase 1 the size flush.
+        """
+        merged: List[Tuple[int, int, float, int, str, FlushedBatch]] = []
+        own_rank = self._dataset_rank[dataset]
+        for batch in own:
+            if batch.trigger == "size":
+                # Served right after the query that completed the batch.
+                at_query = int(batch.tickets[-1]) - first_ticket
+                phase = 1
+            else:
+                # A wait flush fires at the first arrival strictly past the
+                # deadline (arrival exactly at the deadline joins the batch).
+                at_query = int(np.searchsorted(arrivals, batch.flush_s,
+                                               side="right"))
+                phase = 0
+            merged.append((at_query, phase, batch.flush_s, own_rank,
+                           dataset, batch))
+        need_sort = False
+        t_last = float(arrivals[-1])
+        for name, scheduler in self._schedulers.items():
+            if name == dataset or scheduler.pending_count == 0:
+                continue
+            for batch in scheduler.advance_to(t_last, include_equal=True):
+                # Other datasets' deadlines fire at the first arrival at or
+                # past them.
+                at_query = int(np.searchsorted(arrivals, batch.flush_s,
+                                               side="left"))
+                merged.append((at_query, 0, batch.flush_s,
+                               self._dataset_rank[name], name, batch))
+                need_sort = True
+        if need_sort:
+            merged.sort(key=lambda item: item[:4])
+        for _, _, _, _, name, batch in merged:
+            self._serve(name, batch)
+
     def _serve(self, dataset: str, batch: FlushedBatch) -> None:
         backend = self.dispatcher.choose(batch.size)
-        entry, hit = self.registry.fetch(dataset, "lca", backend.spec,
-                                         sequential=backend.sequential)
+        entry, hit = self.registry.fetch_by_key(
+            self._artifact_key(dataset, backend), spec=backend.spec)
         service_time = 0.0 if hit else entry.build_time_s
         ctx = ExecutionContext(backend.spec)
         answers = entry.artifact.query(batch.xs, batch.ys, ctx=ctx)
@@ -262,9 +416,10 @@ class LCAQueryService:
         completion = start + service_time
         self._backend_free_s[backend.key] = completion
         latencies = completion - batch.arrival_s
-        for ticket, answer, lat in zip(batch.tickets, answers, latencies):
-            self._results[int(ticket)] = int(answer)
-            self._latencies[int(ticket)] = float(lat)
+        idx = batch.tickets
+        self._answers[idx] = answers
+        self._latencies[idx] = latencies
+        self._answered[idx] = True
         self.stats_collector.record_batch(
             size=batch.size,
             trigger=batch.trigger,
@@ -275,6 +430,17 @@ class LCAQueryService:
             completion_s=completion,
         )
 
+    def _artifact_key(self, dataset: str, backend) -> ArtifactKey:
+        cached = self._artifact_keys.get((dataset, backend.key))
+        if cached is None:
+            cached = ArtifactKey(
+                dataset, "lca", backend.spec.name,
+                "sequential" if backend.sequential else "parallel",
+            )
+            self._artifact_keys[(dataset, backend.key)] = cached
+        return cached
+
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (f"LCAQueryService(datasets={self.datasets}, "
-                f"pending={self.pending_count()}, answered={len(self._results)})")
+                f"pending={self.pending_count()}, "
+                f"answered={int(self._answered[:self._next_ticket].sum())})")

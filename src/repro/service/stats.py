@@ -16,11 +16,31 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 
-__all__ = ["ServiceStats", "StatsCollector", "batch_size_bucket"]
+__all__ = ["ServiceStats", "StatsCollector", "batch_size_bucket", "grow_table"]
+
+
+def grow_table(table: np.ndarray, used: int, needed: int) -> np.ndarray:
+    """Return ``table`` grown by capacity doubling to hold ``needed`` slots.
+
+    The first ``used`` entries are preserved; boolean tables come back
+    zero-initialized beyond them (they encode "is this slot populated yet").
+    Returns the input unchanged when it is already large enough.
+    """
+    capacity = table.size
+    if needed <= capacity:
+        return table
+    while capacity < needed:
+        capacity *= 2
+    if table.dtype == np.bool_:
+        grown = np.zeros(capacity, dtype=np.bool_)
+    else:
+        grown = np.empty(capacity, dtype=table.dtype)
+    grown[:used] = table[:used]
+    return grown
 
 
 def batch_size_bucket(size: int) -> int:
@@ -107,7 +127,12 @@ class StatsCollector:
     batch_sizes: Counter = field(default_factory=Counter)
     flush_triggers: Counter = field(default_factory=Counter)
     backend_choices: Counter = field(default_factory=Counter)
-    _latency_chunks: List[np.ndarray] = field(default_factory=list)
+    # Growable flat latency table: batches append with one slice assignment
+    # and the percentile computation in snapshot() reads a single array view
+    # (no per-snapshot concatenation of per-batch chunks).
+    _latency_table: np.ndarray = field(
+        default_factory=lambda: np.empty(1024, dtype=np.float64))
+    _latency_count: int = 0
     _first_arrival_s: Optional[float] = None
     _last_completion_s: Optional[float] = None
 
@@ -125,7 +150,12 @@ class StatsCollector:
         self.batch_sizes[batch_size_bucket(size)] += 1
         self.flush_triggers[trigger] += 1
         self.backend_choices[backend_key] += 1
-        self._latency_chunks.append(np.asarray(latencies_s, dtype=np.float64))
+        latencies = np.asarray(latencies_s, dtype=np.float64)
+        end = self._latency_count + latencies.size
+        self._latency_table = grow_table(self._latency_table,
+                                         self._latency_count, end)
+        self._latency_table[self._latency_count:end] = latencies
+        self._latency_count = end
         if self._first_arrival_s is None or first_arrival_s < self._first_arrival_s:
             self._first_arrival_s = float(first_arrival_s)
         if self._last_completion_s is None or completion_s > self._last_completion_s:
@@ -137,8 +167,8 @@ class StatsCollector:
         ``registry`` (an :class:`~repro.service.registry.IndexRegistry`)
         contributes the cache section; omitted, those fields read zero.
         """
-        if self._latency_chunks:
-            lat = np.concatenate(self._latency_chunks)
+        if self._latency_count:
+            lat = self._latency_table[:self._latency_count]
             p50, p99 = (float(v) for v in np.percentile(lat, [50.0, 99.0]))
             mean, worst = float(lat.mean()), float(lat.max())
         else:
