@@ -21,7 +21,7 @@ from repro.experiments import format_rows
 from repro.graphs.generators import random_attachment_tree, road_graph_with_target_size
 from repro.graphs import largest_connected_component
 from repro.lca import pointer_jump_levels
-from repro.primitives import inclusive_scan, sequential_rank, wei_jaja_rank, wyllie_rank
+from repro.primitives import sequential_rank, wei_jaja_rank, wyllie_rank
 from repro.bridges import find_bridges_tarjan_vishkin
 
 from bench_util import BENCH_SCALE, publish, run_once

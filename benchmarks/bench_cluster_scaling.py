@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""Cluster scaling: modeled throughput vs replica count × routing policy.
+
+Drives :func:`repro.experiments.service_experiments.replica_scaling_sweep`:
+one hot dataset fully replicated across the cluster, a warmed index cache,
+and an offered load that deeply saturates even the largest configuration.
+The numbers are *modeled* device times on the simulated clock — the same
+quantity every figure benchmark reports — so they are bit-deterministic for
+a given configuration and make a tight CI regression baseline.
+
+Two properties are verified (and fail the run when ``--check`` is set):
+
+* the load-spreading policies (round-robin, least-outstanding) deliver
+  **monotonically increasing** throughput from the smallest to the largest
+  replica count;
+* a 1-replica cluster is **bit-identical** to a plain ``LCAQueryService``
+  fed the same chunked stream: same tickets, answers and modeled latencies.
+
+Outputs:
+
+* ``BENCH_cluster_scaling.json`` (repo root) — machine-readable result,
+  compared against the committed baseline by CI's bench-regression gate;
+* ``results/cluster_scaling.txt`` — the rendered sweep table.
+
+Run with:  python benchmarks/bench_cluster_scaling.py
+Options:   --queries N  --nodes N  --replica-counts 1,2,4,8  --check
+Scale:     REPRO_BENCH_SCALE scales the default stream size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.experiments.service_experiments import replica_scaling_sweep
+from repro.graphs.generators import random_attachment_tree
+from repro.graphs.trees import generate_random_queries
+from repro.service import BatchPolicy, ClusterService, LCAQueryService
+
+from bench_util import BENCH_SCALE, RESULTS_DIR
+
+JSON_PATH = REPO_ROOT / "BENCH_cluster_scaling.json"
+
+#: Policies expected to scale with the replica count (consistent-hash pins
+#: the single hot dataset to one copy by design, so it is excluded).
+SCALING_POLICIES = ("round-robin", "least-outstanding")
+
+
+def verify_single_replica_equivalence(
+    nodes: int, queries: int, chunk: int, seed: int
+) -> bool:
+    """A 1-replica cluster must be bit-identical to the plain service."""
+    parents = random_attachment_tree(nodes, seed=seed)
+    xs, ys = generate_random_queries(nodes, queries, seed=seed + 1)
+    arrivals = np.arange(queries, dtype=np.float64) * 2e-7
+    policy = BatchPolicy(max_batch_size=256, max_wait_s=2e-4)
+
+    plain = LCAQueryService(policy=policy)
+    plain.register_tree("hot", parents)
+    cluster = ClusterService(1, policy=policy)
+    cluster.register_tree("hot", parents, replicas=1)
+
+    plain_tickets, cluster_tickets = [], []
+    for i in range(0, queries, chunk):
+        sl = slice(i, i + chunk)
+        plain_tickets.append(plain.submit_many("hot", xs[sl], ys[sl], at=arrivals[sl]))
+        cluster_tickets.append(
+            cluster.submit_many("hot", xs[sl], ys[sl], at=arrivals[sl])
+        )
+    plain.drain()
+    cluster.drain()
+    pt = np.concatenate(plain_tickets)
+    ct = np.concatenate(cluster_tickets)
+    return (
+        np.array_equal(pt, ct)
+        and np.array_equal(plain.results(pt), cluster.results(ct))
+        and np.array_equal(plain.latencies(pt), cluster.latencies(ct))
+    )
+
+
+def monotone(series) -> bool:
+    """Strictly increasing (the scaling acceptance criterion)."""
+    return all(b > a for a, b in zip(series, series[1:]))
+
+
+def render_table(config, rows, monotone_by_policy, equivalent: bool) -> str:
+    lines = [
+        "Cluster scaling: modeled throughput vs replica count x routing policy",
+        f"tree nodes         : {config['nodes']}",
+        f"stream length      : {config['queries']} queries in "
+        f"{config['chunk']}-query blocks",
+        f"offered load       : {config['offered_qps']:,.0f} q/s "
+        "(2x modeled GPU capacity of the largest cluster)",
+        "policy             : batch<=256, wait<=200us, warmed index caches",
+        "",
+        f"{'router':<19} {'replicas':>8} {'modeled q/s':>14} {'p50 us':>9} "
+        f"{'p99 us':>9} {'imbalance':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['policy']:<19} {row['replicas']:>8} "
+            f"{row['throughput_qps']:>14,.0f} {row['latency_p50_us']:>9.1f} "
+            f"{row['latency_p99_us']:>9.1f} {row['load_imbalance']:>10.2f}"
+        )
+    lines.append("")
+    for policy, is_monotone in monotone_by_policy.items():
+        verdict = "monotone" if is_monotone else "NOT monotone"
+        lines.append(f"{policy:<19}: throughput {verdict} in replica count")
+    lines.append(
+        "1-replica cluster  : "
+        + ("bit-identical to LCAQueryService" if equivalent else "DIVERGES")
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=max(8192, int(131_072 * BENCH_SCALE)),
+        help="stream length (default: 131072 * REPRO_BENCH_SCALE)",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=max(4096, int(65_536 * BENCH_SCALE)),
+        help="tree size (default: 65536 * REPRO_BENCH_SCALE)",
+    )
+    parser.add_argument(
+        "--replica-counts",
+        type=str,
+        default="1,2,4,8",
+        help="comma-separated replica counts to sweep",
+    )
+    parser.add_argument("--chunk", type=int, default=8192)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless scaling is monotone and the 1-replica "
+        "cluster is bit-identical to the plain service",
+    )
+    parser.add_argument(
+        "--check-answers",
+        action="store_true",
+        help="verify every configuration against the binary-lifting oracle",
+    )
+    args = parser.parse_args(argv)
+    replica_counts = tuple(int(c) for c in args.replica_counts.split(","))
+
+    start = time.perf_counter()
+    rows = replica_scaling_sweep(
+        n=args.nodes,
+        q=args.queries,
+        replica_counts=replica_counts,
+        chunk=args.chunk,
+        seed=args.seed,
+        check_answers=args.check_answers,
+    )
+    equivalent = verify_single_replica_equivalence(
+        args.nodes, min(args.queries, 32_768), args.chunk, args.seed
+    )
+    wall_s = time.perf_counter() - start
+
+    monotone_by_policy = {
+        policy: monotone(
+            [r["throughput_qps"] for r in rows if r["policy"] == policy]
+        )
+        for policy in SCALING_POLICIES
+    }
+    scaling_rows = [r for r in rows if r["policy"] in SCALING_POLICIES]
+    peak = max(r["throughput_qps"] for r in scaling_rows)
+    low_series = [
+        r["throughput_qps"] for r in rows if r["policy"] == "least-outstanding"
+    ]
+    config = {
+        "nodes": args.nodes,
+        "queries": args.queries,
+        "replica_counts": list(replica_counts),
+        "chunk": args.chunk,
+        "offered_qps": rows[0]["offered_qps"],
+        "bench_scale": BENCH_SCALE,
+        "seed": args.seed,
+    }
+
+    table = render_table(config, rows, monotone_by_policy, equivalent)
+    print(table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "cluster_scaling.txt").write_text(table + "\n", encoding="utf-8")
+    payload = {
+        "benchmark": "cluster_scaling",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": config,
+        "rows": rows,
+        "wall_s": wall_s,
+        "headline": {
+            "peak_throughput_qps": peak,
+            "scaling_1_to_max": low_series[-1] / low_series[0],
+            "monotone": monotone_by_policy,
+            "single_replica_bit_identical": equivalent,
+        },
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {JSON_PATH} and {RESULTS_DIR / 'cluster_scaling.txt'}")
+
+    if args.check:
+        failed = [p for p, ok in monotone_by_policy.items() if not ok]
+        if failed:
+            print(
+                f"FAIL: throughput not monotone in replica count for {failed}",
+                file=sys.stderr,
+            )
+            return 1
+        if not equivalent:
+            print(
+                "FAIL: 1-replica cluster diverges from LCAQueryService",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,8 +18,6 @@ Run with:  python examples/phylogenetic_lca.py
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.device import GTX980, XEON_X5650_SINGLE, ExecutionContext
 from repro.euler import tree_statistics_from_parents
 from repro.graphs import generate_random_queries

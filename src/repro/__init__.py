@@ -35,7 +35,17 @@ cost model prices cheapest for its size.
 True
 """
 
-from . import bridges, device, errors, euler, experiments, graphs, lca, primitives, service
+from . import (
+    bridges,
+    device,
+    errors,
+    euler,
+    experiments,
+    graphs,
+    lca,
+    primitives,
+    service,
+)
 from .bridges import (
     BridgeResult,
     find_bridges_ck,
@@ -43,13 +53,20 @@ from .bridges import (
     find_bridges_hybrid,
     find_bridges_tarjan_vishkin,
 )
-from .device import GTX980, XEON_X5650_MULTI, XEON_X5650_SINGLE, DeviceSpec, ExecutionContext
+from .device import (
+    GTX980,
+    XEON_X5650_MULTI,
+    XEON_X5650_SINGLE,
+    DeviceSpec,
+    ExecutionContext,
+)
 from .errors import (
     ConfigurationError,
     DeviceError,
     InvalidGraphError,
     InvalidQueryError,
     NotATreeError,
+    Overloaded,
     ReproError,
     ServiceError,
 )
@@ -58,14 +75,17 @@ from .graphs import CSRGraph, EdgeList
 from .lca import InlabelLCA, NaiveGPULCA, RMQLCA, SequentialInlabelLCA
 from .service import (
     BatchPolicy,
+    ClusterService,
+    ClusterStats,
     CostModelDispatcher,
     ForestStore,
     IndexRegistry,
     LCAQueryService,
+    Router,
     ServiceStats,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -107,6 +127,10 @@ __all__ = [
     "BatchPolicy",
     "CostModelDispatcher",
     "ServiceStats",
+    # cluster serving
+    "ClusterService",
+    "ClusterStats",
+    "Router",
     # errors
     "ReproError",
     "InvalidGraphError",
@@ -115,4 +139,5 @@ __all__ = [
     "DeviceError",
     "ConfigurationError",
     "ServiceError",
+    "Overloaded",
 ]

@@ -12,7 +12,6 @@ every tree edge, and splitting off the non-tree edges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 import numpy as np
 

@@ -19,7 +19,7 @@ per parallel region.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 from ..errors import DeviceError

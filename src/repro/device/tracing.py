@@ -8,7 +8,7 @@ per-phase breakdown of Figure 11 in the paper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from .context import ExecutionContext, KernelRecord
 

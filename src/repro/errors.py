@@ -49,3 +49,39 @@ class ServiceError(ReproError):
     the simulated clock backwards, or asking for the result of a ticket whose
     batch has not been flushed yet.
     """
+
+
+class Overloaded(ServiceError):
+    """Raised when cluster admission control sheds load.
+
+    A :class:`~repro.service.cluster.ClusterService` with a bounded
+    cluster-wide queue rejects submissions that would push the total number
+    of queued queries past ``max_pending``.  The exception carries enough
+    context for a caller to implement retry-with-backoff:
+
+    ``pending``
+        Queued queries across the cluster when the submission was rejected.
+    ``capacity``
+        The configured ``max_pending`` bound.
+    ``admitted``
+        How many queries of the rejected submission were admitted before the
+        queue filled (always 0 for single-query submissions; a column block
+        is admitted up to the capacity boundary and cut there).
+    ``shed``
+        How many queries were rejected.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pending: int,
+        capacity: int,
+        admitted: int = 0,
+        shed: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.pending = pending
+        self.capacity = capacity
+        self.admitted = admitted
+        self.shed = shed

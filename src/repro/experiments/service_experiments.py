@@ -21,16 +21,26 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ServiceError
+from ..errors import Overloaded, ServiceError
 from ..graphs.generators import random_attachment_tree
 from ..graphs.trees import generate_random_queries
 from ..lca import BinaryLiftingLCA
-from ..service import BatchPolicy, CostModelDispatcher, LCAQueryService
+from ..service import (
+    GPU_BATCH_BACKEND,
+    ROUTER_POLICIES,
+    BatchPolicy,
+    ClusterService,
+    CostModelDispatcher,
+    LCAQueryService,
+    estimate_batch_query_time,
+    make_router,
+)
 
 __all__ = [
     "serve_query_stream",
     "offered_load_sweep",
     "wallclock_serve_run",
+    "replica_scaling_sweep",
     "DEFAULT_POLICIES",
 ]
 
@@ -129,6 +139,100 @@ def wallclock_serve_run(parents: np.ndarray, xs: np.ndarray, ys: np.ndarray,
         "wall_qps": xs.size / elapsed if elapsed > 0 else float("inf"),
         "modeled_qps": float(f"{stats.throughput_qps:.4g}"),
     }
+
+
+def replica_scaling_sweep(
+    n: int = 65_536,
+    q: int = 131_072,
+    *,
+    replica_counts: Sequence[int] = (1, 2, 4, 8),
+    policies: Sequence[str] = ROUTER_POLICIES,
+    rate_qps: Optional[float] = None,
+    max_batch: int = 256,
+    max_wait_s: float = 2e-4,
+    chunk: int = 8192,
+    max_pending: Optional[int] = None,
+    seed: int = 0,
+    check_answers: bool = False,
+) -> List[Dict[str, object]]:
+    """Sweep replica count × routing policy on one hot, fully replicated tree.
+
+    The cluster-scaling question the paper's Fig. 6 poses at the next level
+    up: once one worker's batch-size-dependent backends saturate, does adding
+    replicas keep absorbing offered load?  Each configuration serves the same
+    ``q``-query stream, warmed, submitted in ``chunk``-sized column blocks
+    (so routing and admission observe mid-stream queue depths), at an offered
+    rate that deeply saturates even the largest cluster — by default twice
+    the modeled GPU capacity of ``max(replica_counts)`` workers, derived from
+    the same cost model the dispatcher prices with.
+
+    Expected shape: the load-spreading policies (round-robin,
+    least-outstanding) scale delivered throughput with the replica count,
+    while consistent-hash pins the hot dataset to one copy and stays flat —
+    the affinity-versus-scale-out trade-off in one table.
+
+    ``max_pending`` bounds the cluster queue: chunks beyond the bound are
+    shed (the raised ``Overloaded`` is absorbed) and the rows' ``shed_rate``
+    column reports the admission-control drop rate.  Unbounded by default,
+    so ``shed_rate`` is 0.0 unless a bound is passed; answer verification is
+    skipped for configurations that shed (the rejected queries have no
+    tickets to resolve).
+    """
+    parents = random_attachment_tree(n, seed=seed)
+    xs, ys = generate_random_queries(n, q, seed=seed + 1)
+    expected = BinaryLiftingLCA(parents).query(xs, ys) if check_answers else None
+    policy = BatchPolicy(max_batch_size=int(max_batch), max_wait_s=float(max_wait_s))
+    if rate_qps is None:
+        per_replica_cap = max_batch / estimate_batch_query_time(
+            GPU_BATCH_BACKEND, max_batch
+        )
+        rate_qps = 2.0 * max(replica_counts) * per_replica_cap
+    arrivals = np.arange(q, dtype=np.float64) / float(rate_qps)
+    rows: List[Dict[str, object]] = []
+    for policy_name in policies:
+        for n_replicas in replica_counts:
+            cluster = ClusterService(
+                int(n_replicas),
+                policy=policy,
+                router=make_router(policy_name),
+                max_pending=max_pending,
+            )
+            cluster.register_tree("hot", parents, replicas=int(n_replicas))
+            cluster.warm("hot")
+            tickets = []
+            for i in range(0, q, chunk):
+                try:
+                    tickets.append(cluster.submit_many(
+                        "hot", xs[i:i + chunk], ys[i:i + chunk],
+                        at=arrivals[i:i + chunk],
+                    ))
+                except Overloaded:
+                    # Admission control shed (part of) this chunk; the drop
+                    # is accounted in the cluster's shed-rate statistics.
+                    pass
+            cluster.drain()
+            stats = cluster.stats()
+            if expected is not None and stats.queries_shed == 0:
+                answers = cluster.results(np.concatenate(tickets))
+                if not np.array_equal(answers, expected):
+                    raise AssertionError(
+                        "cluster answers disagree with the oracle "
+                        f"({policy_name}, {n_replicas} replicas)"
+                    )
+            rows.append({
+                "policy": policy_name,
+                "replicas": int(n_replicas),
+                "n": n,
+                "queries": stats.queries_answered,
+                "offered_qps": float(f"{rate_qps:.4g}"),
+                "throughput_qps": float(f"{stats.throughput_qps:.6g}"),
+                "latency_p50_us": round(stats.latency_p50_s * 1e6, 2),
+                "latency_p99_us": round(stats.latency_p99_s * 1e6, 2),
+                "load_imbalance": round(stats.load_imbalance, 3),
+                "shed_rate": round(stats.shed_rate, 4),
+                "cache_hit_rate": round(stats.cache_hit_rate, 3),
+            })
+    return rows
 
 
 def offered_load_sweep(n: int = 65_536, q: int = 16_384, *,

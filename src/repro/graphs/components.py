@@ -166,7 +166,6 @@ def spanning_forest(edges: EdgeList,
         if not cross.any():
             break
         big = np.maximum(lu[cross], lv[cross])
-        small = np.minimum(lu[cross], lv[cross])
         cand_edges = edge_idx[cross]
         # Each "big" root picks the smallest-index cross edge incident to it.
         best_edge = np.full(n, m, dtype=np.int64)

@@ -9,7 +9,7 @@ test oracles), and node-relabeling helpers.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

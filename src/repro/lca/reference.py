@@ -7,7 +7,6 @@ trees large enough that the O(n·q·depth) brute force becomes impractical.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

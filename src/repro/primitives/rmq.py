@@ -127,25 +127,25 @@ class SegmentTreeRMQ:
         q = lo.size
         ufunc = _OPS[self.op]
         result = np.full(q, self._identity, dtype=self.tree.dtype)
-        l = lo + self.size
+        left = lo + self.size
         r = hi + self.size + 1  # exclusive
         # Treat empty ranges as already finished.
-        l = np.where(lo > hi, 1, l)
+        left = np.where(lo > hi, 1, left)
         r = np.where(lo > hi, 1, r)
         # On the device each query thread performs its own O(log n) bottom-up
         # descent inside a single kernel; the per-level loop below is only a
         # vectorization device and the cost is charged once at the end.
         rounds = 0
-        while np.any(l < r):
-            take_left = (l < r) & (l % 2 == 1)
+        while np.any(left < r):
+            take_left = (left < r) & (left % 2 == 1)
             if take_left.any():
-                result[take_left] = ufunc(result[take_left], self.tree[l[take_left]])
-                l[take_left] += 1
-            take_right = (l < r) & (r % 2 == 1)
+                result[take_left] = ufunc(result[take_left], self.tree[left[take_left]])
+                left[take_left] += 1
+            take_right = (left < r) & (r % 2 == 1)
             if take_right.any():
                 r[take_right] -= 1
                 result[take_right] = ufunc(result[take_right], self.tree[r[take_right]])
-            l //= 2
+            left //= 2
             r //= 2
             rounds += 1
             if rounds > 2 * int(np.log2(self.size)) + 4:  # pragma: no cover - defensive

@@ -23,10 +23,19 @@ bulk; this subpackage turns that observation into a serving architecture:
   the above together; tickets index growable columnar answer/latency tables,
   so ``submit_many`` admission and ``results``/``latencies`` resolution are
   vectorized end to end (``submit`` is a single-row wrapper over the same
-  core).
+  core);
+* :class:`~repro.service.cluster.ClusterService` — N replica workers behind
+  one front door: consistent-hash placement with replication
+  (:class:`~repro.service.routing.HashRing`), pluggable load-aware routing
+  (:class:`~repro.service.routing.Router` policies), cluster-wide admission
+  control raising the typed :class:`~repro.errors.Overloaded` error, and
+  :class:`~repro.service.cluster.ClusterStats` aggregation with exact merged
+  latency percentiles and a load-imbalance metric.
 """
 
+from ..errors import Overloaded
 from .clock import SimulatedClock
+from .cluster import ClusterService, ClusterStats
 from .dispatch import (
     CPU_SEQUENTIAL_BACKEND,
     DEFAULT_BACKENDS,
@@ -42,6 +51,16 @@ from .registry import (
     ForestStore,
     IndexRegistry,
     artifact_nbytes,
+)
+from .routing import (
+    ROUTER_POLICIES,
+    ConsistentHashRouter,
+    HashRing,
+    LeastOutstandingRouter,
+    RoundRobinRouter,
+    Router,
+    make_router,
+    stable_hash,
 )
 from .scheduler import BatchPolicy, FlushedBatch, MicroBatchScheduler, PendingQuery
 from .service import LCAQueryService
@@ -69,4 +88,16 @@ __all__ = [
     "StatsCollector",
     "batch_size_bucket",
     "LCAQueryService",
+    # cluster serving
+    "ClusterService",
+    "ClusterStats",
+    "Overloaded",
+    "Router",
+    "RoundRobinRouter",
+    "LeastOutstandingRouter",
+    "ConsistentHashRouter",
+    "HashRing",
+    "ROUTER_POLICIES",
+    "make_router",
+    "stable_hash",
 ]

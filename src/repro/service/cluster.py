@@ -1,0 +1,693 @@
+"""Sharded serving cluster: replica workers, load-aware routing, backpressure.
+
+:class:`ClusterService` fronts N replica workers, each a full
+:class:`~repro.service.service.LCAQueryService` with its own
+:class:`~repro.service.scheduler.MicroBatchScheduler` per dataset, its own
+:class:`~repro.service.dispatch.CostModelDispatcher` (and therefore its own
+CPU/GPU backend pair), and its own slice of the cluster's index-cache byte
+budget.  On top of the workers the cluster adds the three things a single
+node cannot provide:
+
+* **replication + placement** — a dataset registered with ``replicas=k`` is
+  pinned onto ``k`` workers chosen by a consistent-hash ring
+  (:class:`~repro.service.routing.HashRing`), so hot datasets exist in
+  multiple index caches and cold ones cost one;
+* **load-aware routing** — a pluggable
+  :class:`~repro.service.routing.Router` picks which copy serves each query
+  or column block (round-robin, least-outstanding-work, or consistent-hash
+  for maximal cache affinity);
+* **admission control** — an optional cluster-wide bound on queued queries.
+  Submissions past the bound are rejected with the typed
+  :class:`~repro.errors.Overloaded` error and counted into the cluster's
+  shed rate, so overload is an explicit, observable contract instead of an
+  unbounded queue.
+
+Time: every worker runs on its own :class:`SimulatedClock` cursor along the
+*same* simulated time axis; the cluster's own clock is the frontier (the
+latest arrival admitted anywhere).  Because every flush deadline, queueing
+delay and completion is computed from explicit timestamps, a worker whose
+cursor lags simply materializes its (identical) flushes at its next event —
+the modeled batches, latencies and statistics are bit-reproducible functions
+of the submitted trace, exactly as on a single node.  With one replica the
+cluster *is* the single node: every routed call degenerates to the same
+sequence of worker calls, so answers, latencies and per-replica statistics
+are bit-identical to a plain :class:`LCAQueryService` fed the same stream.
+
+The columnar fast path survives sharding end to end: a block submitted via
+:meth:`ClusterService.submit_many` is validated with one fused bounds check,
+routed with one vectorized policy call, cut into per-replica sub-blocks with
+a stable argsort + ``searchsorted`` (each sub-block preserves arrival
+order), and admitted through each worker's vectorized
+:meth:`~repro.service.service.LCAQueryService.submit_many`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+from numpy.typing import ArrayLike
+
+from ..errors import InvalidQueryError, Overloaded, ServiceError
+from ..graphs.trees import validate_parents
+from .clock import SimulatedClock
+from .dispatch import CostModelDispatcher
+from .routing import HashRing, LeastOutstandingRouter, Router
+from .scheduler import BatchPolicy
+from .service import LCAQueryService, block_clean_prefix
+from .stats import ServiceStats, grow_table
+
+__all__ = ["ClusterService", "ClusterStats"]
+
+#: Initial cluster ticket-table capacity (grows by doubling).
+_MIN_TICKET_TABLE = 1024
+
+
+class _SharedLoader:
+    """Memoizing wrapper so one lazy loader feeds every copy of a dataset.
+
+    Each replica's :class:`~repro.service.registry.ForestStore` calls the
+    wrapper independently; the underlying loader runs (and the result is
+    validated) exactly once, and every copy shares the same parent array.
+    A loader failure leaves the wrapper unfilled, so the dataset stays
+    retryable on every copy.
+    """
+
+    def __init__(self, loader: Callable[[], np.ndarray], validate: bool) -> None:
+        self._loader = loader
+        self._validate = validate
+        self._parents: Optional[np.ndarray] = None
+
+    def __call__(self) -> np.ndarray:
+        if self._parents is None:
+            parents = np.asarray(self._loader(), dtype=np.int64)
+            if self._validate:
+                validate_parents(parents)
+            self._parents = parents
+        return self._parents
+
+
+@dataclass(frozen=True)
+class ClusterStats:
+    """Immutable cluster-wide snapshot aggregated over replica workers.
+
+    Latency percentiles are computed over the *merged* per-query latency
+    tables of all replicas — they are exact, not an approximation stitched
+    from per-replica percentiles.  ``replicas`` keeps the full per-worker
+    :class:`~repro.service.stats.ServiceStats` for drill-down.
+    """
+
+    #: How many replica workers the cluster runs.
+    n_replicas: int
+    #: Router policy name the cluster was serving with.
+    router_policy: str
+    #: Queries offered = submitted (admitted) + shed by admission control.
+    queries_offered: int
+    queries_submitted: int
+    queries_shed: int
+    queries_answered: int
+    #: Fraction of offered queries rejected with :class:`Overloaded`.
+    shed_rate: float
+    batches_flushed: int
+    #: Modeled end-to-end latency over all answered queries, all replicas.
+    latency_mean_s: float
+    latency_p50_s: float
+    latency_p99_s: float
+    latency_max_s: float
+    #: Simulated span from the earliest arrival to the latest completion
+    #: anywhere in the cluster.
+    span_s: float
+    #: Total modeled backend busy time across replicas.
+    busy_time_s: float
+    #: Index-cache accounting summed over the replicas' registries.
+    cache_hits: int
+    cache_misses: int
+    cache_hit_rate: float
+    #: Answered-query count per replica, and max/mean of that distribution
+    #: (1.0 = perfectly balanced; idle replicas inflate it; 0.0 before any
+    #: answer).
+    per_replica_answered: Tuple[int, ...]
+    load_imbalance: float
+    #: Per-worker snapshots, in replica-id order.
+    replicas: Tuple[ServiceStats, ...]
+
+    @property
+    def throughput_qps(self) -> float:
+        """Answered queries per second of cluster simulated span."""
+        if self.span_s <= 0:
+            return float("inf") if self.queries_answered else 0.0
+        return self.queries_answered / self.span_s
+
+    def format(self) -> str:
+        """Render the cluster snapshot as an aligned text block."""
+        answered = " ".join(str(c) for c in self.per_replica_answered)
+        lines = [
+            f"replicas           : {self.n_replicas} "
+            f"({self.router_policy} router)",
+            f"queries            : {self.queries_answered}/"
+            f"{self.queries_submitted} answered, {self.queries_shed} shed "
+            f"({self.shed_rate:.1%} of {self.queries_offered} offered)",
+            f"batches            : {self.batches_flushed}",
+            f"latency p50/p99    : {self.latency_p50_s * 1e6:.2f} / "
+            f"{self.latency_p99_s * 1e6:.2f} us "
+            f"(max {self.latency_max_s * 1e6:.2f} us)",
+            f"throughput         : {self.throughput_qps:,.0f} queries/s "
+            f"over {self.span_s * 1e3:.3f} ms span",
+            f"backend busy time  : {self.busy_time_s * 1e3:.3f} ms modeled",
+            f"index caches       : {self.cache_hits} hits / "
+            f"{self.cache_misses} misses ({self.cache_hit_rate:.1%})",
+            f"per-replica load   : [{answered}] "
+            f"(imbalance {self.load_imbalance:.2f}x)",
+        ]
+        return "\n".join(lines)
+
+
+class ClusterService:
+    """Serves LCA queries across N replica workers behind one front door.
+
+    Parameters
+    ----------
+    n_replicas:
+        Number of replica workers.  Each owns its schedulers, dispatcher
+        (hence its own modeled CPU/GPU pair) and index-registry slice.
+    policy:
+        Micro-batching policy applied to every worker's schedulers.
+    router:
+        Routing policy choosing which copy of a dataset serves each query;
+        defaults to :class:`~repro.service.routing.LeastOutstandingRouter`.
+    dispatcher_factory:
+        Zero-argument callable building each worker's dispatcher (called
+        once per replica so workers never share memoization state).
+    capacity_bytes:
+        Cluster-wide index-cache budget, split evenly across the workers'
+        registries.  ``None`` means unbounded.
+    max_pending:
+        Cluster-wide bound on queued queries.  Submissions that would
+        exceed it raise :class:`~repro.errors.Overloaded` and are counted
+        as shed.  ``None`` disables admission control.
+    start_time:
+        Initial simulated time for the cluster and every worker clock.
+
+    Usage
+    -----
+    >>> import numpy as np
+    >>> from repro.graphs.generators import random_attachment_tree
+    >>> from repro.service import ClusterService
+    >>> cluster = ClusterService(4)
+    >>> cluster.register_tree("t", random_attachment_tree(64, seed=0),
+    ...                       replicas=4)
+    >>> tickets = cluster.submit_many("t", [1, 3, 5], [2, 4, 6],
+    ...                               at=np.arange(3) * 1e-6)
+    >>> cluster.drain()
+    >>> answers = cluster.results(tickets)
+    """
+
+    def __init__(
+        self,
+        n_replicas: int,
+        *,
+        policy: Optional[BatchPolicy] = None,
+        router: Optional[Router] = None,
+        dispatcher_factory: Optional[Callable[[], CostModelDispatcher]] = None,
+        capacity_bytes: Optional[int] = None,
+        max_pending: Optional[int] = None,
+        start_time: float = 0.0,
+    ) -> None:
+        n_replicas = int(n_replicas)
+        if n_replicas < 1:
+            raise ServiceError("a cluster needs at least one replica")
+        if max_pending is not None and int(max_pending) < 1:
+            raise ServiceError("max_pending must be positive (or None)")
+        self.router: Router = router if router is not None else LeastOutstandingRouter()
+        self.ring = HashRing(range(n_replicas))
+        self.clock = SimulatedClock(start_time)
+        self._max_pending = None if max_pending is None else int(max_pending)
+        factory = dispatcher_factory or CostModelDispatcher
+        if capacity_bytes is None:
+            slice_bytes = None
+        else:
+            slice_bytes = max(1, int(capacity_bytes) // n_replicas)
+        self._replicas: Tuple[LCAQueryService, ...] = tuple(
+            LCAQueryService(
+                policy=policy,
+                dispatcher=factory(),
+                capacity_bytes=slice_bytes,
+                clock=SimulatedClock(start_time),
+            )
+            for _ in range(n_replicas)
+        )
+        self._placement: Dict[str, Tuple[int, ...]] = {}
+        self._sizes: Dict[str, Optional[int]] = {}
+        self._shed = 0
+        self._next_ticket = 0
+        # Cluster tickets are consecutive integers indexing two columnar
+        # maps: which replica served the query, and the worker-local ticket
+        # there.  Result resolution is then a grouped fancy-indexing gather.
+        self._ticket_replica = np.empty(_MIN_TICKET_TABLE, dtype=np.int64)
+        self._ticket_local = np.empty(_MIN_TICKET_TABLE, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def n_replicas(self) -> int:
+        """Number of replica workers."""
+        return len(self._replicas)
+
+    @property
+    def replicas(self) -> Tuple[LCAQueryService, ...]:
+        """The replica workers, in replica-id order (read-only tuple)."""
+        return self._replicas
+
+    @property
+    def datasets(self) -> List[str]:
+        """Names of all registered datasets."""
+        return list(self._placement)
+
+    def placement(self, dataset: str) -> Tuple[int, ...]:
+        """Replica ids holding ``dataset``, in placement order."""
+        return self._copies(dataset)
+
+    def register_tree(
+        self,
+        name: str,
+        parents: Optional[np.ndarray] = None,
+        *,
+        loader: Optional[Callable[[], np.ndarray]] = None,
+        validate: bool = False,
+        replicas: int = 1,
+        on: Optional[Sequence[int]] = None,
+    ) -> Tuple[int, ...]:
+        """Register a tree on ``replicas`` workers; returns the placement.
+
+        Placement defaults to the consistent-hash ring (stable under future
+        replica-count changes); ``on`` pins the copies to explicit replica
+        ids instead.  A lazy ``loader`` is wrapped so it runs once no matter
+        how many copies exist — every copy shares the loaded array.
+        """
+        if name in self._placement:
+            raise ServiceError(f"dataset {name!r} is already registered")
+        if (parents is None) == (loader is None):
+            raise ServiceError("pass exactly one of parents= or loader=")
+        if on is not None:
+            copies = tuple(dict.fromkeys(int(i) for i in on))
+            if not copies:
+                raise ServiceError("on= must name at least one replica")
+            bad = [i for i in copies if not 0 <= i < self.n_replicas]
+            if bad:
+                raise ServiceError(
+                    f"replica ids {bad} out of range for a "
+                    f"{self.n_replicas}-replica cluster"
+                )
+        else:
+            if not 1 <= int(replicas) <= self.n_replicas:
+                raise ServiceError(
+                    f"replicas must be in [1, {self.n_replicas}], got {replicas}"
+                )
+            copies = tuple(self.ring.place(name, int(replicas)))
+        if parents is not None:
+            parents = np.asarray(parents, dtype=np.int64)
+            if validate:
+                validate_parents(parents)
+            for c in copies:
+                self._replicas[c].register_tree(name, parents)
+            self._sizes[name] = int(parents.size)
+        else:
+            shared = _SharedLoader(loader, validate)  # type: ignore[arg-type]
+            for c in copies:
+                self._replicas[c].register_tree(name, loader=shared)
+            self._sizes[name] = None
+        self._placement[name] = copies
+        return copies
+
+    # ------------------------------------------------------------------
+    # Query path
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        dataset: str,
+        x: int,
+        y: int,
+        *,
+        at: Optional[float] = None,
+    ) -> int:
+        """Submit one LCA query through the router; returns a cluster ticket.
+
+        Mirrors :meth:`LCAQueryService.submit` (validation first, then time,
+        then admission): a bad query is rejected at its own call, a
+        submission past ``max_pending`` raises
+        :class:`~repro.errors.Overloaded`, and the arrival pre-advances
+        every worker to ``t`` so routing and admission observe
+        ``t``-fresh queue depths.
+        """
+        copies = self._copies(dataset)
+        n = self._dataset_size(dataset)
+        if not (0 <= int(x) < n and 0 <= int(y) < n):
+            raise InvalidQueryError(
+                f"query nodes ({x}, {y}) out of range for dataset {dataset!r} "
+                f"with {n} nodes"
+            )
+        t = self.clock.now if at is None else float(at)
+        if t < self.clock.now:
+            raise ServiceError(
+                f"cannot move the clock backwards (now={self.clock.now}, "
+                f"requested={t})"
+            )
+        for replica in self._replicas:
+            replica.advance_to(t, joining=dataset)
+        # The arrival moved observable time even if the query ends up shed:
+        # advancing the cluster frontier with the workers keeps the clocks
+        # in sync, so a drain() or a later legally-timestamped submission
+        # after an Overloaded rejection still works.
+        self.clock.advance_to(t)
+        if self._max_pending is not None:
+            pending = self.pending_count()
+            if pending + 1 > self._max_pending:
+                self._shed += 1
+                raise Overloaded(
+                    f"cluster queue is full (pending={pending}, "
+                    f"max_pending={self._max_pending}); 1 query shed",
+                    pending=pending,
+                    capacity=self._max_pending,
+                    admitted=0,
+                    shed=1,
+                )
+        target = self.router.route_one(dataset, copies, self._outstanding(copies))
+        local = self._replicas[target].submit(dataset, int(x), int(y), at=t)
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self._ensure_ticket_capacity(self._next_ticket)
+        self._ticket_replica[ticket] = target
+        self._ticket_local[ticket] = local
+        return ticket
+
+    def submit_many(
+        self,
+        dataset: str,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        *,
+        at: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Submit a column block through the router; returns cluster tickets.
+
+        The columnar fast path end to end: one fused bounds check, one
+        vectorized routing decision, and a stable argsort + ``searchsorted``
+        cut into per-replica sub-blocks (each an arrival-ordered subsequence
+        admitted through the worker's own vectorized ``submit_many``).
+
+        Error semantics mirror :meth:`LCAQueryService.submit_many`: the
+        clean prefix is admitted, then the first offending position raises.
+        Admission control additionally caps the prefix at the cluster
+        queue's free space — measured at the block's first arrival — and
+        raises :class:`~repro.errors.Overloaded` for the remainder; chunked
+        submission lets admission observe mid-stream flushes.
+        """
+        copies = self._copies(dataset)
+        xs = np.atleast_1d(np.asarray(xs, dtype=np.int64))
+        ys = np.atleast_1d(np.asarray(ys, dtype=np.int64))
+        if xs.shape != ys.shape:
+            raise ServiceError("query arrays must have the same shape")
+        if at is not None:
+            at = np.atleast_1d(np.asarray(at, dtype=np.float64))
+            if at.shape != xs.shape:
+                raise ServiceError("timestamp array must match the query arrays")
+        if xs.size == 0:
+            return np.empty(0, dtype=np.int64)
+        n = self._dataset_size(dataset)
+        if at is None:
+            arrivals = np.full(xs.size, self.clock.now, dtype=np.float64)
+        else:
+            arrivals = at
+
+        # Same first-offender semantics as the single-node block path — the
+        # shared helper keeps the two validators in lockstep.
+        stop, error = block_clean_prefix(
+            xs, ys, arrivals, n=n, dataset=dataset, now=self.clock.now
+        )
+
+        if stop:
+            for replica in self._replicas:
+                replica.advance_to(float(arrivals[0]), joining=dataset)
+            # Keep the cluster frontier in sync with the workers even if the
+            # whole block is subsequently shed by admission control.
+            self.clock.advance_to(float(arrivals[0]))
+        if self._max_pending is not None and stop:
+            pending = self.pending_count()
+            free = self._max_pending - pending
+            if stop > free:
+                admitted = max(0, free)
+                shed = stop - admitted
+                self._shed += shed
+                stop = admitted
+                error = Overloaded(
+                    f"cluster queue is full (pending={pending}, "
+                    f"max_pending={self._max_pending}); admitted {admitted} "
+                    f"of {xs.size} queries, shed {shed}",
+                    pending=pending,
+                    capacity=self._max_pending,
+                    admitted=admitted,
+                    shed=shed,
+                )
+
+        tickets = np.arange(self._next_ticket, self._next_ticket + stop, dtype=np.int64)
+        if stop:
+            self._next_ticket += stop
+            self._ensure_ticket_capacity(self._next_ticket)
+            assignment = self.router.route_block(
+                dataset, copies, self._outstanding(copies), stop
+            )
+            order = np.argsort(assignment, kind="stable")
+            grouped = assignment[order]
+            targets = np.unique(grouped)
+            starts = np.searchsorted(grouped, targets, side="left")
+            ends = np.searchsorted(grouped, targets, side="right")
+            for target, b0, b1 in zip(targets, starts, ends):
+                sel = order[b0:b1]
+                local = self._replicas[int(target)].submit_many(
+                    dataset, xs[sel], ys[sel], at=arrivals[sel]
+                )
+                self._ticket_replica[tickets[sel]] = int(target)
+                self._ticket_local[tickets[sel]] = local
+            self.clock.advance_to(float(arrivals[stop - 1]))
+        if error is not None:
+            raise error
+        return tickets
+
+    def warm(self, dataset: str) -> None:
+        """Prebuild the LCA index on every copy, for every backend.
+
+        A production cluster warms caches before taking traffic; benchmarks
+        call this so steady-state throughput is not diluted by each copy's
+        one-time index build (which would otherwise dominate short streams).
+        """
+        for c in self._copies(dataset):
+            worker = self._replicas[c]
+            for backend in worker.dispatcher.backends:
+                worker.registry.fetch(
+                    dataset, "lca", backend.spec, sequential=backend.sequential
+                )
+
+    def advance_to(self, t: float) -> None:
+        """Advance the whole cluster, serving every wait-expired batch."""
+        t = self.clock.advance_to(float(t))
+        for replica in self._replicas:
+            replica.advance_to(t)
+
+    def drain(self) -> None:
+        """Flush and serve everything still queued, on every replica.
+
+        Replica clocks are first aligned to the cluster frontier (serving
+        any wait deadlines that expired strictly before it), so drain-time
+        flushes happen at one well-defined cluster instant regardless of
+        which worker each query was routed to.
+        """
+        for replica in self._replicas:
+            replica.sync_to(self.clock.now)
+        for replica in self._replicas:
+            replica.drain()
+
+    def pending_count(self, dataset: Optional[str] = None) -> int:
+        """Queries currently queued (for one dataset, or cluster-wide)."""
+        if dataset is not None:
+            return sum(
+                self._replicas[c].pending_count(dataset)
+                for c in self._copies(dataset)
+            )
+        return sum(replica.pending_count() for replica in self._replicas)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def result(self, ticket: int) -> int:
+        """The answer for one cluster ticket (its batch must have served)."""
+        t = int(ticket)
+        if not 0 <= t < self._next_ticket:
+            raise ServiceError(f"unknown ticket {ticket}")
+        replica = self._replicas[int(self._ticket_replica[t])]
+        local = int(self._ticket_local[t])
+        if not replica.answered(local)[0]:
+            raise ServiceError(
+                f"ticket {ticket} is still queued; advance time or drain()"
+            )
+        return replica.result(local)
+
+    def results(self, tickets: ArrayLike) -> np.ndarray:
+        """Vector of answers for a sequence of cluster tickets.
+
+        Raises :class:`ServiceError` for the first unknown or still-queued
+        ticket in the sequence, exactly as :meth:`result` would.
+        """
+        idx = np.atleast_1d(np.asarray(tickets)).astype(np.int64, copy=False)
+        if idx.size == 0:
+            return np.empty(0, dtype=np.int64)
+        self._check_answered(idx)
+        out = np.empty(idx.size, dtype=np.int64)
+        for replica_id, sel in self._by_replica(idx):
+            worker = self._replicas[replica_id]
+            out[sel] = worker.results(self._ticket_local[idx[sel]])
+        return out
+
+    def latency(self, ticket: int) -> float:
+        """Modeled end-to-end latency of one answered query."""
+        self.result(ticket)  # raises uniformly for unknown/queued tickets
+        t = int(ticket)
+        replica = self._replicas[int(self._ticket_replica[t])]
+        return replica.latency(int(self._ticket_local[t]))
+
+    def latencies(self, tickets: ArrayLike) -> np.ndarray:
+        """Vector of modeled latencies for a sequence of answered tickets."""
+        idx = np.atleast_1d(np.asarray(tickets)).astype(np.int64, copy=False)
+        if idx.size == 0:
+            return np.empty(0, dtype=np.float64)
+        self._check_answered(idx)
+        out = np.empty(idx.size, dtype=np.float64)
+        for replica_id, sel in self._by_replica(idx):
+            worker = self._replicas[replica_id]
+            out[sel] = worker.latencies(self._ticket_local[idx[sel]])
+        return out
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stats(self) -> ClusterStats:
+        """Aggregate the replicas' statistics into one cluster snapshot."""
+        per = tuple(replica.stats() for replica in self._replicas)
+        collectors = [replica.stats_collector for replica in self._replicas]
+        views = [c.latency_values for c in collectors if c.latency_values.size]
+        if views:
+            merged = views[0] if len(views) == 1 else np.concatenate(views)
+            p50, p99 = (float(v) for v in np.percentile(merged, [50.0, 99.0]))
+            mean, worst = float(merged.mean()), float(merged.max())
+        else:
+            p50 = p99 = mean = worst = 0.0
+        firsts = [
+            c.first_arrival_s for c in collectors if c.first_arrival_s is not None
+        ]
+        lasts = [
+            c.last_completion_s for c in collectors if c.last_completion_s is not None
+        ]
+        span = (max(lasts) - min(firsts)) if firsts and lasts else 0.0
+        answered = tuple(s.queries_answered for s in per)
+        mean_load = sum(answered) / len(answered)
+        imbalance = max(answered) / mean_load if mean_load > 0 else 0.0
+        submitted = sum(s.queries_submitted for s in per)
+        offered = submitted + self._shed
+        hits = sum(s.cache_hits for s in per)
+        misses = sum(s.cache_misses for s in per)
+        lookups = hits + misses
+        return ClusterStats(
+            n_replicas=self.n_replicas,
+            router_policy=self.router.name,
+            queries_offered=offered,
+            queries_submitted=submitted,
+            queries_shed=self._shed,
+            queries_answered=sum(answered),
+            shed_rate=self._shed / offered if offered else 0.0,
+            batches_flushed=sum(s.batches_flushed for s in per),
+            latency_mean_s=mean,
+            latency_p50_s=p50,
+            latency_p99_s=p99,
+            latency_max_s=worst,
+            span_s=span,
+            busy_time_s=sum(s.busy_time_s for s in per),
+            cache_hits=hits,
+            cache_misses=misses,
+            cache_hit_rate=hits / lookups if lookups else 0.0,
+            per_replica_answered=answered,
+            load_imbalance=imbalance,
+            replicas=per,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _copies(self, dataset: str) -> Tuple[int, ...]:
+        try:
+            return self._placement[dataset]
+        except KeyError:
+            raise ServiceError(
+                f"unknown dataset {dataset!r}; register_tree() it first"
+            ) from None
+
+    def _dataset_size(self, dataset: str) -> int:
+        size = self._sizes[dataset]
+        if size is None:
+            # Materializes the shared lazy loader through the first copy's
+            # store; the other copies reuse the same array on first touch.
+            first = self._placement[dataset][0]
+            size = int(self._replicas[first].store.tree(dataset).size)
+            self._sizes[dataset] = size
+        return size
+
+    def _outstanding(self, copies: Tuple[int, ...]) -> np.ndarray:
+        return np.array(
+            [self._replicas[c].pending_count() for c in copies], dtype=np.int64
+        )
+
+    def _ensure_ticket_capacity(self, needed: int) -> None:
+        if needed <= self._ticket_replica.size:
+            return
+        used = self._ticket_replica.size
+        self._ticket_replica = grow_table(self._ticket_replica, used, needed)
+        self._ticket_local = grow_table(self._ticket_local, used, needed)
+
+    def _by_replica(self, idx: np.ndarray) -> Iterator[Tuple[int, np.ndarray]]:
+        """Group positions of ``idx`` by owning replica (ascending id)."""
+        owners = self._ticket_replica[idx]
+        order = np.argsort(owners, kind="stable")
+        grouped = owners[order]
+        uniq, starts = np.unique(grouped, return_index=True)
+        bounds = np.append(starts, grouped.size)
+        for i, replica_id in enumerate(uniq):
+            yield int(replica_id), order[bounds[i]:bounds[i + 1]]
+
+    def _check_answered(self, idx: np.ndarray) -> None:
+        unknown = (idx < 0) | (idx >= self._next_ticket)
+        if unknown.any():
+            raise ServiceError(f"unknown ticket {idx[int(unknown.argmax())]}")
+        queued = np.zeros(idx.size, dtype=bool)
+        for replica_id, sel in self._by_replica(idx):
+            worker = self._replicas[replica_id]
+            queued[sel] = ~worker.answered(self._ticket_local[idx[sel]])
+        if queued.any():
+            raise ServiceError(
+                f"ticket {idx[int(queued.argmax())]} is still queued; "
+                f"advance time or drain()"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"ClusterService(replicas={self.n_replicas}, "
+            f"router={self.router.name!r}, datasets={self.datasets}, "
+            f"pending={self.pending_count()}, shed={self._shed})"
+        )

@@ -36,12 +36,13 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from ..device import ExecutionContext
 from ..errors import InvalidQueryError, ServiceError
 from ..graphs.trees import query_bounds_mask
 from .clock import SimulatedClock
-from .dispatch import CostModelDispatcher
+from .dispatch import Backend, CostModelDispatcher
 from .registry import ArtifactKey, ForestStore, IndexRegistry
 from .scheduler import BatchPolicy, FlushedBatch, MicroBatchScheduler
 from .stats import ServiceStats, StatsCollector, grow_table
@@ -50,6 +51,49 @@ __all__ = ["LCAQueryService"]
 
 #: Initial ticket-table capacity (grows by doubling).
 _MIN_TICKET_TABLE = 1024
+
+
+def block_clean_prefix(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    arrivals: np.ndarray,
+    *,
+    n: int,
+    dataset: str,
+    now: float,
+) -> Tuple[int, Optional[Exception]]:
+    """Admissible prefix of a column block, with the first offender's error.
+
+    Replicates the per-query loop's error semantics in bulk: one fused
+    bounds check finds every out-of-range query, a backwards arrival is an
+    adjacent-difference check against ``now``, and the earliest offender
+    wins.  Returns ``(stop, error)`` — admit ``[:stop]``, then raise
+    ``error`` (``None`` when the whole block is clean).
+
+    Shared by :meth:`LCAQueryService.submit_many` and the cluster layer's
+    block path, which must stay in lockstep for the documented 1-replica
+    bit-identical equivalence.
+    """
+    bad = query_bounds_mask(xs, ys, n)
+    stop = int(xs.size)
+    error: Optional[Exception] = None
+    if bad.any():
+        stop = int(bad.argmax())
+        error = InvalidQueryError(
+            f"query nodes ({xs[stop]}, {ys[stop]}) out of range for "
+            f"dataset {dataset!r} with {n} nodes"
+        )
+    moved_back = np.empty(xs.size, dtype=bool)
+    moved_back[0] = arrivals[0] < now
+    np.less(arrivals[1:], arrivals[:-1], out=moved_back[1:])
+    if moved_back[:stop].any():
+        stop = int(moved_back.argmax())
+        prev = now if stop == 0 else float(arrivals[stop - 1])
+        error = ServiceError(
+            f"cannot move the clock backwards (now={prev}, "
+            f"requested={float(arrivals[stop])})"
+        )
+    return stop, error
 
 
 class LCAQueryService:
@@ -206,30 +250,11 @@ class LCAQueryService:
         else:
             arrivals = at
 
-        # Admissible prefix: one fused bounds check finds every out-of-range
-        # query; a backwards arrival is an adjacent-difference check.  The
-        # per-query loop raises at the first offending index after admitting
-        # everything before it — replicate that by admitting the clean
-        # prefix, then raising the same error.
-        bad = query_bounds_mask(xs, ys, n)
-        stop = int(xs.size)
-        error: Optional[Exception] = None
-        if bad.any():
-            stop = int(bad.argmax())
-            error = InvalidQueryError(
-                f"query nodes ({xs[stop]}, {ys[stop]}) out of range for "
-                f"dataset {dataset!r} with {n} nodes"
-            )
-        moved_back = np.empty(xs.size, dtype=bool)
-        moved_back[0] = arrivals[0] < self.clock.now
-        np.less(arrivals[1:], arrivals[:-1], out=moved_back[1:])
-        if moved_back[:stop].any():
-            stop = int(moved_back.argmax())
-            prev = self.clock.now if stop == 0 else float(arrivals[stop - 1])
-            error = ServiceError(
-                f"cannot move the clock backwards (now={prev}, "
-                f"requested={float(arrivals[stop])})"
-            )
+        # Admissible prefix: the per-query loop raises at the first
+        # offending index after admitting everything before it — replicate
+        # that by admitting the clean prefix, then raising the same error.
+        stop, error = block_clean_prefix(xs, ys, arrivals, n=n,
+                                         dataset=dataset, now=self.clock.now)
 
         tickets = np.arange(self._next_ticket, self._next_ticket + stop,
                             dtype=np.int64)
@@ -245,9 +270,31 @@ class LCAQueryService:
             raise error
         return tickets
 
-    def advance_to(self, t: float) -> None:
-        """Advance simulated time, serving every wait-expired batch."""
-        for name, batch in self._expired_batches(float(t)):
+    def advance_to(self, t: float, *, joining: Optional[str] = None) -> None:
+        """Advance simulated time, serving every wait-expired batch.
+
+        ``joining`` names a dataset about to receive a submission at exactly
+        ``t``: its wait deadlines equal to ``t`` are left pending so the
+        arriving query can still join them (the same rule :meth:`submit`
+        applies internally).  The cluster layer uses this to pre-advance
+        replica workers to an arrival instant without perturbing the batch
+        the arrival belongs to.
+        """
+        for name, batch in self._expired_batches(float(t), exclusive=joining):
+            self._serve(name, batch)
+
+    def sync_to(self, t: float) -> None:
+        """Advance to ``t``, serving only deadlines *strictly* before ``t``.
+
+        Deadlines exactly at ``t`` stay pending — they can still be joined
+        by an arrival at ``t`` or be drained at ``t`` with the ``drain``
+        trigger, exactly as if time had been advanced one submission at a
+        time.  The cluster layer uses this to align a lagging replica clock
+        with the cluster frontier at a drain boundary; on a replica whose
+        clock already sits at ``t`` it is a no-op (every strictly earlier
+        deadline was flushed by the submission that advanced the clock).
+        """
+        for name, batch in self._expired_batches(float(t), include_equal=False):
             self._serve(name, batch)
 
     def drain(self) -> None:
@@ -270,7 +317,7 @@ class LCAQueryService:
             )
         return int(self._answers[t])
 
-    def results(self, tickets) -> np.ndarray:
+    def results(self, tickets: ArrayLike) -> np.ndarray:
         """Vector of answers for a sequence of tickets (one table lookup).
 
         Raises :class:`ServiceError` exactly as :meth:`result` would for the
@@ -290,12 +337,28 @@ class LCAQueryService:
             )
         return self._answers[idx]
 
+    def answered(self, tickets: ArrayLike) -> np.ndarray:
+        """Boolean mask over ``tickets``: which have been served already.
+
+        Unlike :meth:`results` this never raises for still-queued tickets —
+        it is the non-throwing probe the cluster layer uses to report the
+        first still-queued ticket of a cross-replica sequence in the caller's
+        order.  Unknown tickets still raise :class:`ServiceError`.
+        """
+        idx = np.atleast_1d(np.asarray(tickets)).astype(np.int64, copy=False)
+        if idx.size == 0:
+            return np.empty(0, dtype=bool)
+        unknown = (idx < 0) | (idx >= self._next_ticket)
+        if unknown.any():
+            raise ServiceError(f"unknown ticket {idx[int(unknown.argmax())]}")
+        return self._answered[idx]
+
     def latency(self, ticket: int) -> float:
         """Modeled end-to-end latency of one answered query."""
         self.result(ticket)  # raises uniformly for unknown/queued tickets
         return float(self._latencies[int(ticket)])
 
-    def latencies(self, tickets) -> np.ndarray:
+    def latencies(self, tickets: ArrayLike) -> np.ndarray:
         """Vector of modeled latencies for a sequence of answered tickets."""
         idx = np.atleast_1d(np.asarray(tickets)).astype(np.int64, copy=False)
         self.results(idx)  # same validation as results()
@@ -332,14 +395,16 @@ class LCAQueryService:
                 f"unknown dataset {dataset!r}; register_tree() it first"
             ) from None
 
-    def _expired_batches(self, t: float, exclusive: Optional[str] = None
-                         ) -> List[tuple]:
+    def _expired_batches(self, t: float, exclusive: Optional[str] = None,
+                         include_equal: bool = True) -> List[tuple]:
         # One shared clock: advancing it for one dataset fires every other
         # dataset's expired wait deadlines too.  Batches are returned sorted
         # by flush time so they queue on the backends in FIFO order no matter
         # which dataset they came from; for ``exclusive`` (a dataset about to
         # receive a submission at ``t``) deadlines equal to ``t`` are left
-        # pending so the arriving query can join them.
+        # pending so the arriving query can join them, and with
+        # ``include_equal=False`` they are left pending on *every* dataset
+        # (the :meth:`sync_to` semantics).
         self.clock.advance_to(t)
         collected: List[tuple] = []
         for name, scheduler in self._schedulers.items():
@@ -347,7 +412,8 @@ class LCAQueryService:
             # per-submit cost independent of how many idle datasets exist.
             if scheduler.pending_count == 0:
                 continue
-            batches = scheduler.advance_to(t, include_equal=name != exclusive)
+            batches = scheduler.advance_to(
+                t, include_equal=include_equal and name != exclusive)
             collected.extend((name, batch) for batch in batches)
         collected.sort(key=lambda item: item[1].flush_s)
         return collected
@@ -430,7 +496,7 @@ class LCAQueryService:
             completion_s=completion,
         )
 
-    def _artifact_key(self, dataset: str, backend) -> ArtifactKey:
+    def _artifact_key(self, dataset: str, backend: Backend) -> ArtifactKey:
         cached = self._artifact_keys.get((dataset, backend.key))
         if cached is None:
             cached = ArtifactKey(

@@ -16,9 +16,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .registry import IndexRegistry
 
 __all__ = ["ServiceStats", "StatsCollector", "batch_size_bucket", "grow_table"]
 
@@ -136,6 +139,26 @@ class StatsCollector:
     _first_arrival_s: Optional[float] = None
     _last_completion_s: Optional[float] = None
 
+    @property
+    def latency_values(self) -> np.ndarray:
+        """View of every recorded per-query latency (in record order).
+
+        Cluster-level aggregation merges these views across replicas so the
+        cluster percentiles are exact, not an approximation stitched from
+        per-replica percentiles.
+        """
+        return self._latency_table[:self._latency_count]
+
+    @property
+    def first_arrival_s(self) -> Optional[float]:
+        """Earliest recorded arrival time (``None`` before any batch)."""
+        return self._first_arrival_s
+
+    @property
+    def last_completion_s(self) -> Optional[float]:
+        """Latest recorded batch completion time (``None`` before any batch)."""
+        return self._last_completion_s
+
     def record_submit(self, count: int = 1) -> None:
         """Count newly submitted queries."""
         self.queries_submitted += int(count)
@@ -161,7 +184,7 @@ class StatsCollector:
         if self._last_completion_s is None or completion_s > self._last_completion_s:
             self._last_completion_s = float(completion_s)
 
-    def snapshot(self, *, registry=None) -> ServiceStats:
+    def snapshot(self, *, registry: Optional["IndexRegistry"] = None) -> ServiceStats:
         """Freeze the current counters into a :class:`ServiceStats`.
 
         ``registry`` (an :class:`~repro.service.registry.IndexRegistry`)

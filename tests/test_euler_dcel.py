@@ -1,6 +1,5 @@
 """Tests for the DCEL half-edge structure (paper §2.1)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import NotATreeError

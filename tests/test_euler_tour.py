@@ -13,7 +13,6 @@ from .conftest import TREE_KINDS, make_tree
 
 def check_tour_is_valid_euler_tour(tour, edges):
     """Structural invariants of an Euler tour of a tree."""
-    n = edges.num_nodes
     h = 2 * edges.num_edges
     assert tour.length == h
     if h == 0:

@@ -1,7 +1,6 @@
 """Tests for the per-figure experiment runners (small-scale smoke + shape checks)."""
 
 import numpy as np
-import pytest
 
 from repro.experiments import format_rows, format_series, pivot_rows
 from repro.experiments import bridges_experiments as bx

@@ -1,7 +1,6 @@
 """Tests for connected components and spanning forests."""
 
 import numpy as np
-import pytest
 
 from repro.graphs import (
     EdgeList,

@@ -1,6 +1,5 @@
 """Tests for graph characterization (Table 1 statistics)."""
 
-import numpy as np
 import pytest
 
 from repro.graphs import EdgeList, characterize, degree_statistics, is_tree, pseudo_diameter

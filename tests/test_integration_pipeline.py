@@ -29,10 +29,9 @@ from repro.graphs import (
     bfs_gpu,
     generate_random_queries,
     largest_connected_component,
-    parents_to_edgelist,
     spanning_forest,
 )
-from repro.graphs.generators import grasp_tree, rmat_graph, road_graph
+from repro.graphs.generators import grasp_tree, rmat_graph
 from repro.lca import BinaryLiftingLCA
 
 

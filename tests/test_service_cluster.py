@@ -1,0 +1,401 @@
+"""Cluster service tests: replication, routing, backpressure, aggregation.
+
+The heart of the file is the replica-count=1 equivalence property: a
+1-replica cluster must be *bit-identical* to a plain ``LCAQueryService`` on
+the same stream — tickets, answers, modeled latencies, and the full
+per-replica statistics snapshot.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidQueryError, Overloaded, ServiceError
+from repro.graphs.generators import random_attachment_tree
+from repro.graphs.trees import generate_random_queries
+from repro.lca import BinaryLiftingLCA
+from repro.service import (
+    BatchPolicy,
+    ClusterService,
+    ClusterStats,
+    LCAQueryService,
+    make_router,
+)
+
+from .conftest import make_tree
+
+POLICY = BatchPolicy(max_batch_size=64, max_wait_s=1e-4)
+
+
+def build_cluster(parents, n_replicas, *, replicas=None, **kwargs):
+    cluster = ClusterService(n_replicas, **kwargs)
+    cluster.register_tree(
+        "t", parents, replicas=n_replicas if replicas is None else replicas
+    )
+    return cluster
+
+
+def chunked_submit(cluster, dataset, xs, ys, arrivals, chunk):
+    tickets = [
+        cluster.submit_many(
+            dataset, xs[i:i + chunk], ys[i:i + chunk], at=arrivals[i:i + chunk]
+        )
+        for i in range(0, xs.size, chunk)
+    ]
+    return np.concatenate(tickets)
+
+
+# ----------------------------------------------------------------------
+# Construction and registration surface
+# ----------------------------------------------------------------------
+
+def test_constructor_validation():
+    with pytest.raises(ServiceError):
+        ClusterService(0)
+    with pytest.raises(ServiceError):
+        ClusterService(2, max_pending=0)
+
+
+def test_register_tree_validation():
+    parents = random_attachment_tree(64, seed=0)
+    cluster = ClusterService(3)
+    cluster.register_tree("t", parents)
+    with pytest.raises(ServiceError):
+        cluster.register_tree("t", parents)  # duplicate
+    with pytest.raises(ServiceError):
+        cluster.register_tree("u", parents, replicas=4)  # > n_replicas
+    with pytest.raises(ServiceError):
+        cluster.register_tree("u", parents, replicas=0)
+    with pytest.raises(ServiceError):
+        cluster.register_tree("u", parents, on=[0, 3])  # id out of range
+    with pytest.raises(ServiceError):
+        cluster.register_tree("u", parents, on=[])
+    with pytest.raises(ServiceError):
+        cluster.register_tree("u")  # neither parents nor loader
+    with pytest.raises(ServiceError):
+        cluster.submit("nope", 1, 2)
+
+
+def test_placement_modes():
+    parents = random_attachment_tree(64, seed=1)
+    cluster = ClusterService(4)
+    ring_copies = cluster.register_tree("ringed", parents, replicas=2)
+    assert cluster.placement("ringed") == ring_copies
+    assert len(set(ring_copies)) == 2
+    # Ring placement agrees with the cluster's own ring.
+    assert list(ring_copies) == cluster.ring.place("ringed", 2)
+    # Explicit placement is respected verbatim (deduplicated, order kept).
+    pinned = cluster.register_tree("pinned", parents, on=[3, 1, 3])
+    assert pinned == (3, 1)
+    assert set(cluster.datasets) == {"ringed", "pinned"}
+    # Only the placed replicas know the dataset.
+    for replica_id, worker in enumerate(cluster.replicas):
+        assert worker.store.has_tree("pinned") == (replica_id in (1, 3))
+
+
+def test_lazy_loader_is_shared_and_called_once():
+    calls = []
+
+    def loader():
+        calls.append(1)
+        return random_attachment_tree(128, seed=2)
+
+    cluster = ClusterService(3, policy=POLICY)
+    cluster.register_tree("lazy", loader=loader, replicas=3)
+    assert calls == []  # nothing materialized yet
+    xs, ys = generate_random_queries(128, 30, seed=3)
+    arrivals = np.arange(30, dtype=np.float64) * 1e-6
+    tickets = cluster.submit_many("lazy", xs, ys, at=arrivals)
+    cluster.drain()
+    # All three copies served from one materialization of the loader.
+    assert len(calls) == 1
+    expected = BinaryLiftingLCA(random_attachment_tree(128, seed=2)).query(xs, ys)
+    assert np.array_equal(cluster.results(tickets), expected)
+
+
+# ----------------------------------------------------------------------
+# Correctness across replicas and policies
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "policy_name", ["round-robin", "least-outstanding", "consistent-hash"]
+)
+def test_cluster_answers_match_oracle(policy_name):
+    n, q = 4_096, 3_000
+    parents = random_attachment_tree(n, seed=4)
+    xs, ys = generate_random_queries(n, q, seed=5)
+    arrivals = np.arange(q, dtype=np.float64) * 5e-7
+    cluster = build_cluster(parents, 4, policy=POLICY, router=make_router(policy_name))
+    tickets = chunked_submit(cluster, "t", xs, ys, arrivals, 512)
+    cluster.drain()
+    expected = BinaryLiftingLCA(parents).query(xs, ys)
+    assert np.array_equal(cluster.results(tickets), expected)
+    stats = cluster.stats()
+    assert stats.queries_answered == q
+    assert stats.queries_shed == 0
+    assert stats.router_policy == policy_name
+
+
+def test_round_robin_columnar_equals_per_query_path():
+    n, q = 1_024, 400
+    parents = random_attachment_tree(n, seed=6)
+    xs, ys = generate_random_queries(n, q, seed=7)
+    arrivals = np.arange(q, dtype=np.float64) * 2e-6
+
+    blocked = build_cluster(
+        parents, 3, policy=POLICY, router=make_router("round-robin")
+    )
+    bt = chunked_submit(blocked, "t", xs, ys, arrivals, 128)
+    blocked.drain()
+
+    looped = build_cluster(parents, 3, policy=POLICY, router=make_router("round-robin"))
+    lt = np.array([
+        looped.submit("t", int(xs[i]), int(ys[i]), at=float(arrivals[i]))
+        for i in range(q)
+    ])
+    looped.drain()
+
+    assert np.array_equal(bt, lt)
+    assert np.array_equal(blocked.results(bt), looped.results(lt))
+    assert np.array_equal(blocked.latencies(bt), looped.latencies(lt))
+
+
+# ----------------------------------------------------------------------
+# Replica-count=1 equivalence (the acceptance-criterion property)
+# ----------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    kind=st.sampled_from(("shallow", "deep", "path", "scale-free", "star")),
+    n=st.integers(min_value=2, max_value=200),
+    q=st.integers(min_value=1, max_value=60),
+    max_batch=st.integers(min_value=1, max_value=32),
+    max_wait_us=st.sampled_from((0.0, 10.0, 1000.0)),
+    chunk=st.sampled_from((1, 7, 64)),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_single_replica_cluster_is_bit_identical(
+    kind, n, q, max_batch, max_wait_us, chunk, seed
+):
+    parents = make_tree(kind, n, seed)
+    xs, ys = generate_random_queries(n, q, seed=seed + 1)
+    rng = np.random.default_rng(seed + 2)
+    arrivals = np.cumsum(rng.exponential(1e-4, size=q))
+    policy = BatchPolicy(max_batch_size=max_batch, max_wait_s=max_wait_us * 1e-6)
+
+    plain = LCAQueryService(policy=policy)
+    plain.register_tree("t", parents)
+    cluster = build_cluster(parents, 1, policy=policy)
+
+    pt = chunked_submit(plain, "t", xs, ys, arrivals, chunk)
+    ct = chunked_submit(cluster, "t", xs, ys, arrivals, chunk)
+    plain.drain()
+    cluster.drain()
+
+    assert np.array_equal(pt, ct)
+    assert np.array_equal(plain.results(pt), cluster.results(ct))
+    assert np.array_equal(plain.latencies(pt), cluster.latencies(ct))
+    # The whole observable statistics surface agrees, field for field.
+    assert plain.stats() == cluster.stats().replicas[0]
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+
+def slow_policy():
+    # A queue that never flushes on its own: everything stays pending until
+    # time passes or the caller drains, so admission decisions are exact.
+    return BatchPolicy(max_batch_size=1 << 15, max_wait_s=10.0)
+
+
+def test_per_query_backpressure_sheds_and_recovers():
+    parents = random_attachment_tree(256, seed=8)
+    cluster = build_cluster(parents, 2, policy=slow_policy(), max_pending=3)
+    for i in range(3):
+        cluster.submit("t", 1, 2, at=i * 1e-6)
+    with pytest.raises(Overloaded) as excinfo:
+        cluster.submit("t", 3, 4, at=3e-6)
+    exc = excinfo.value
+    assert isinstance(exc, ServiceError)  # typed subclass
+    assert (exc.pending, exc.capacity, exc.admitted, exc.shed) == (3, 3, 0, 1)
+    stats = cluster.stats()
+    assert stats.queries_shed == 1
+    assert stats.queries_submitted == 3
+    assert stats.queries_offered == 4
+    assert stats.shed_rate == pytest.approx(0.25)
+    # Draining frees the queue; admission recovers.
+    cluster.advance_to(100.0)
+    assert cluster.pending_count() == 0
+    cluster.submit("t", 5, 6, at=101.0)
+    assert cluster.stats().queries_shed == 1  # no new sheds
+
+
+def test_block_backpressure_admits_prefix_and_reports_shed():
+    parents = random_attachment_tree(256, seed=9)
+    cluster = build_cluster(parents, 2, policy=slow_policy(), max_pending=100)
+    xs, ys = generate_random_queries(256, 300, seed=10)
+    arrivals = np.arange(300, dtype=np.float64) * 1e-6
+    with pytest.raises(Overloaded) as excinfo:
+        cluster.submit_many("t", xs, ys, at=arrivals)
+    exc = excinfo.value
+    assert (exc.admitted, exc.shed) == (100, 200)
+    assert cluster.pending_count() == 100
+    stats = cluster.stats()
+    assert stats.queries_submitted == 100
+    assert stats.queries_shed == 200
+    assert stats.shed_rate == pytest.approx(200 / 300)
+    # The admitted prefix is exactly the first 100 queries.
+    cluster.drain()
+    answers = cluster.results(np.arange(100))
+    expected = BinaryLiftingLCA(parents).query(xs[:100], ys[:100])
+    assert np.array_equal(answers, expected)
+
+
+def test_clocks_stay_in_sync_after_shed():
+    # Regression test: an Overloaded rejection advances the worker clocks
+    # to the rejected arrival, so the cluster frontier must advance with
+    # them — otherwise drain() and later legal submissions crash with a
+    # backwards-clock error.
+    parents = random_attachment_tree(256, seed=21)
+    cluster = build_cluster(parents, 2, policy=slow_policy(), max_pending=1)
+    cluster.submit("t", 1, 2, at=0.0)
+    with pytest.raises(Overloaded):
+        cluster.submit("t", 3, 4, at=5.0)
+    cluster.drain()  # must not raise
+    ticket = cluster.submit("t", 5, 6, at=6.0)  # later arrivals still legal
+    cluster.drain()
+    assert cluster.result(ticket) >= 0
+    # Same for a block shed in its entirety.
+    with pytest.raises(Overloaded):
+        xs, ys = generate_random_queries(256, 10, seed=22)
+        cluster.submit_many("t", xs, ys, at=np.full(10, 7.0))
+    with pytest.raises(Overloaded):
+        cluster.submit_many("t", xs, ys, at=np.full(10, 8.0))
+    cluster.drain()
+    assert cluster.pending_count() == 0
+
+
+def test_unbounded_cluster_never_sheds():
+    parents = random_attachment_tree(256, seed=11)
+    cluster = build_cluster(parents, 2, policy=slow_policy())
+    xs, ys = generate_random_queries(256, 500, seed=12)
+    cluster.submit_many("t", xs, ys, at=np.arange(500) * 1e-6)
+    assert cluster.stats().queries_shed == 0
+    assert cluster.pending_count() == 500
+
+
+# ----------------------------------------------------------------------
+# Error surface
+# ----------------------------------------------------------------------
+
+def test_invalid_query_rejected_with_prefix_admitted():
+    parents = random_attachment_tree(100, seed=13)
+    cluster = build_cluster(parents, 2, policy=POLICY)
+    xs = np.array([1, 2, 500, 3])
+    ys = np.array([4, 5, 6, 7])
+    with pytest.raises(InvalidQueryError):
+        cluster.submit_many("t", xs, ys, at=np.arange(4) * 1e-6)
+    # The clean prefix (2 queries) was admitted, exactly like the plain
+    # service's per-query loop would have.
+    assert cluster.stats().queries_submitted == 2
+    with pytest.raises(InvalidQueryError):
+        cluster.submit("t", -1, 2)
+    with pytest.raises(ServiceError):
+        cluster.submit("t", 1, 2, at=-1.0)  # backwards arrival
+
+
+def test_ticket_surface_mirrors_single_node_service():
+    parents = random_attachment_tree(100, seed=14)
+    cluster = build_cluster(parents, 2, policy=POLICY)
+    with pytest.raises(ServiceError):
+        cluster.result(0)  # never issued
+    ticket = cluster.submit("t", 1, 2, at=0.0)
+    with pytest.raises(ServiceError):
+        cluster.result(ticket)  # still queued
+    with pytest.raises(ServiceError):
+        cluster.results([ticket])
+    cluster.drain()
+    assert cluster.result(ticket) >= 0
+    assert cluster.latency(ticket) > 0
+    with pytest.raises(ServiceError):
+        cluster.results([ticket, 999])
+    assert cluster.results([]).size == 0
+    assert cluster.latencies([]).size == 0
+
+
+def test_still_queued_error_names_the_cluster_ticket():
+    parents = random_attachment_tree(100, seed=15)
+    cluster = build_cluster(
+        parents, 2, policy=slow_policy(), router=make_router("round-robin")
+    )
+    tickets = [cluster.submit("t", 1, 2, at=i * 1e-6) for i in range(4)]
+    cluster.advance_to(1e-3)
+    with pytest.raises(ServiceError, match=f"ticket {tickets[0]} is still queued"):
+        cluster.results(tickets)
+
+
+# ----------------------------------------------------------------------
+# Stats aggregation
+# ----------------------------------------------------------------------
+
+def test_cluster_stats_aggregate_per_replica_views():
+    n, q = 2_048, 2_000
+    parents = random_attachment_tree(n, seed=16)
+    xs, ys = generate_random_queries(n, q, seed=17)
+    arrivals = np.arange(q, dtype=np.float64) * 1e-6
+    cluster = build_cluster(
+        parents, 4, policy=POLICY, router=make_router("round-robin")
+    )
+    tickets = chunked_submit(cluster, "t", xs, ys, arrivals, 256)
+    cluster.drain()
+    stats = cluster.stats()
+    assert isinstance(stats, ClusterStats)
+    per = stats.replicas
+    assert len(per) == 4
+    # Totals are the sums of the per-replica snapshots.
+    assert stats.queries_answered == sum(s.queries_answered for s in per) == q
+    assert stats.batches_flushed == sum(s.batches_flushed for s in per)
+    assert stats.busy_time_s == pytest.approx(sum(s.busy_time_s for s in per))
+    assert stats.cache_hits == sum(s.cache_hits for s in per)
+    assert stats.cache_misses == sum(s.cache_misses for s in per)
+    # Imbalance is max/mean of the per-replica answered counts.
+    answered = np.array(stats.per_replica_answered, dtype=np.float64)
+    assert stats.load_imbalance == pytest.approx(answered.max() / answered.mean())
+    # Merged percentiles are exact: recompute from every query's latency.
+    merged = np.sort(cluster.latencies(tickets))
+    assert stats.latency_p50_s == pytest.approx(np.percentile(merged, 50.0))
+    assert stats.latency_p99_s == pytest.approx(np.percentile(merged, 99.0))
+    assert stats.latency_max_s == pytest.approx(merged.max())
+    # Span covers earliest arrival to latest completion anywhere.
+    firsts = [s for s in per if s.queries_answered]
+    assert stats.span_s >= max(s.span_s for s in firsts)
+    assert stats.throughput_qps == pytest.approx(q / stats.span_s)
+    rendered = stats.format()
+    assert "per-replica load" in rendered and "shed" in rendered
+
+
+def test_warm_prebuilds_every_copy_and_stream_only_hits():
+    parents = random_attachment_tree(1_024, seed=18)
+    cluster = build_cluster(parents, 3, policy=POLICY)
+    cluster.warm("t")
+    misses_after_warm = cluster.stats().cache_misses
+    assert misses_after_warm == 6  # 3 copies x 2 backends
+    xs, ys = generate_random_queries(1_024, 600, seed=19)
+    chunked_submit(cluster, "t", xs, ys, np.arange(600) * 1e-6, 128)
+    cluster.drain()
+    assert cluster.stats().cache_misses == misses_after_warm  # all hits
+
+
+def test_pending_count_per_dataset_sums_over_copies():
+    parents = random_attachment_tree(256, seed=20)
+    cluster = ClusterService(3, policy=slow_policy(), router=make_router("round-robin"))
+    cluster.register_tree("a", parents, replicas=2)
+    cluster.register_tree("b", parents, replicas=1)
+    for i in range(5):
+        cluster.submit("a", 1, 2, at=i * 1e-6)
+    cluster.submit("b", 3, 4, at=1e-5)
+    assert cluster.pending_count("a") == 5
+    assert cluster.pending_count("b") == 1
+    assert cluster.pending_count() == 6
