@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Scenario matrix: every named workload on one bounded replica cluster.
+
+Drives :func:`repro.experiments.service_experiments.scenario_suite`: each
+named scenario (steady, diurnal, flash-crowd, skewed-hotspot, multi-tenant)
+replayed on a fresh 4-replica cluster with a bounded admission queue, under
+the default (least-outstanding) router — plus a router-policy sweep on the
+scenarios where policy choice matters.  All numbers are modeled times on the
+simulated clock driven by seeded generators, so rows are bit-deterministic
+and make a tight CI regression baseline.
+
+Three properties are verified (and fail the run when ``--check`` is set):
+
+* every named scenario runs end-to-end and answers queries (no silent
+  empty replays);
+* the **flash-crowd** scenario provably trips admission control — its flash
+  phase sheds with the typed ``Overloaded`` path — while **steady** sheds
+  nothing;
+* every admitted answer matches the binary-lifting oracle.
+
+Outputs:
+
+* ``BENCH_scenarios.json`` (repo root) — machine-readable result, compared
+  against the committed baseline by CI's bench-regression gate;
+* ``results/scenarios.txt`` — the rendered scenario table.
+
+Run with:  python benchmarks/bench_scenarios.py
+Options:   --replicas N  --max-pending N  --policies a,b  --check
+Scale:     REPRO_BENCH_SCALE scales scenario durations (not rates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.experiments.service_experiments import scenario_suite
+from repro.workloads import SCENARIOS
+
+from bench_util import BENCH_SCALE, RESULTS_DIR
+
+JSON_PATH = REPO_ROOT / "BENCH_scenarios.json"
+
+#: The router sweep runs on the scenarios whose shape depends on routing.
+POLICY_SWEEP_SCENARIOS = ("skewed-hotspot", "multi-tenant")
+
+#: One front-door admission tick; passed to every scenario_suite call and
+#: recorded in the benchmark config, so the two can never drift apart.
+ADMISSION_WINDOW_S = 5e-3
+
+
+def render_table(config, rows) -> str:
+    lines = [
+        "Scenario matrix: named workloads on one bounded replica cluster",
+        f"replicas           : {config['replicas']} "
+        f"(max_pending={config['max_pending']})",
+        "policy             : batch<=256, wait<=200us, warmed index caches, "
+        f"{config['admission_window_ms']:.0f}ms admission windows",
+        f"scenario scale     : {config['scale']:g} (durations; rates fixed)",
+        "",
+        f"{'scenario':<16} {'router':<19} {'offered':>8} {'shed':>7} "
+        f"{'modeled q/s':>12} {'p50 us':>8} {'p99 us':>8} {'imbal':>6}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['scenario']:<16} {row['policy']:<19} {row['offered']:>8} "
+            f"{row['shed_rate']:>6.1%} {row['throughput_qps']:>12,.0f} "
+            f"{row['latency_p50_us']:>8.1f} {row['latency_p99_us']:>8.1f} "
+            f"{row['load_imbalance']:>6.2f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--replicas", type=int, default=4)
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=8192,
+        help="cluster admission bound (queries)",
+    )
+    parser.add_argument(
+        "--policies",
+        type=str,
+        default="least-outstanding",
+        help="comma-separated router policies for the all-scenarios pass",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=BENCH_SCALE,
+        help="scenario duration scale (default: REPRO_BENCH_SCALE)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--skip-policy-sweep",
+        action="store_true",
+        help="skip the extra router-policy sweep rows",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless every scenario runs, answers verify, "
+        "flash-crowd sheds and steady does not",
+    )
+    args = parser.parse_args(argv)
+    policies = tuple(p for p in args.policies.split(",") if p)
+
+    start = time.perf_counter()
+    rows = scenario_suite(
+        sorted(SCENARIOS),
+        policies=policies,
+        n_replicas=args.replicas,
+        max_pending=args.max_pending,
+        admission_window_s=ADMISSION_WINDOW_S,
+        scale=args.scale,
+        seed=args.seed,
+        check_answers=True,
+    )
+    if not args.skip_policy_sweep:
+        sweep_policies = tuple(
+            p
+            for p in ("round-robin", "consistent-hash")
+            if p not in policies
+        )
+        rows += scenario_suite(
+            POLICY_SWEEP_SCENARIOS,
+            policies=sweep_policies,
+            n_replicas=args.replicas,
+            max_pending=args.max_pending,
+            admission_window_s=ADMISSION_WINDOW_S,
+            scale=args.scale,
+            seed=args.seed,
+            check_answers=True,
+        )
+    wall_s = time.perf_counter() - start
+
+    config = {
+        "replicas": args.replicas,
+        "max_pending": args.max_pending,
+        "policies": list(policies),
+        "scale": args.scale,
+        "admission_window_ms": ADMISSION_WINDOW_S * 1e3,
+        "seed": args.seed,
+        "bench_scale": BENCH_SCALE,
+    }
+    table = render_table(config, rows)
+    print(table)
+
+    def cell(scenario: str, policy: str):
+        return next(
+            r for r in rows if r["scenario"] == scenario and r["policy"] == policy
+        )
+
+    headline_policy = policies[0]
+    steady_row = cell("steady", headline_policy)
+    flash_row = cell("flash-crowd", headline_policy)
+    headline = {
+        "scenarios_run": len({r["scenario"] for r in rows}),
+        "steady_throughput_qps": steady_row["throughput_qps"],
+        "steady_shed_rate": steady_row["shed_rate"],
+        "flash_crowd_shed_rate": flash_row["shed_rate"],
+        "flash_crowd_peak_phase_shed_rate": flash_row["peak_phase_shed_rate"],
+        "total_admitted": int(sum(r["admitted"] for r in rows)),
+    }
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "scenarios.txt").write_text(table + "\n", encoding="utf-8")
+    payload = {
+        "benchmark": "scenarios",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": config,
+        "rows": rows,
+        "wall_s": wall_s,
+        "headline": headline,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {JSON_PATH} and {RESULTS_DIR / 'scenarios.txt'}")
+
+    if args.check:
+        failures = []
+        if headline["scenarios_run"] != len(SCENARIOS):
+            failures.append(
+                f"expected {len(SCENARIOS)} scenarios, "
+                f"ran {headline['scenarios_run']}"
+            )
+        empty = [r["scenario"] for r in rows if r["admitted"] == 0]
+        if empty:
+            failures.append(f"scenarios admitted zero queries: {empty}")
+        if steady_row["shed_rate"] != 0.0:
+            failures.append(
+                f"steady scenario shed {steady_row['shed_rate']:.1%} "
+                "(must never shed)"
+            )
+        if flash_row["shed_rate"] <= 0.0:
+            failures.append(
+                "flash-crowd scenario did not shed (admission control "
+                "never engaged)"
+            )
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            "check ok: all scenarios ran, answers verified, flash-crowd "
+            f"shed {flash_row['shed_rate']:.1%}, steady shed 0"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

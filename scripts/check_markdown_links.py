@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Markdown link checker: relative links and anchors must resolve.
+
+CI's ``docs`` job runs this over ``README.md`` and ``docs/`` so
+documentation rot — a renamed file, a moved section, a typoed anchor —
+fails the build instead of silently 404ing for readers.  No third-party
+dependencies and no network: external (``http``/``https``/``mailto``)
+links are recorded but not fetched; everything else is resolved against
+the repository checkout.
+
+Checked per markdown file:
+
+* inline links and images ``[text](target)`` — the target path must exist
+  (relative targets resolve against the file's own directory);
+* anchors ``target#section`` (and intra-file ``#section``) — the target
+  file must contain a heading whose GitHub slug equals ``section``;
+* reference-style definitions ``[label]: target`` get the same treatment.
+
+Usage::
+
+    python scripts/check_markdown_links.py README.md docs
+
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline links/images: [text](target "optional title")
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(\s*<?([^)<>\s]+)>?(?:\s+\"[^\"]*\")?\s*\)")
+#: Reference definitions: [label]: target
+REFERENCE_DEF = re.compile(r"^\s{0,3}\[[^\]]+\]:\s+<?(\S+?)>?\s*$", re.MULTILINE)
+#: ATX headings, for anchor slugs.
+HEADING = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$", re.MULTILINE)
+#: Fenced code blocks are stripped before link extraction.
+CODE_FENCE = re.compile(r"^(```|~~~).*?^\1\s*$", re.MULTILINE | re.DOTALL)
+
+EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation, dashes."""
+    # Strip inline code/links markup first so `code` headings slug cleanly.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)
+    text = text.replace("`", "").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text, flags=re.UNICODE)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> List[str]:
+    content = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    slugs: List[str] = []
+    counts: dict = {}
+    for match in HEADING.finditer(content):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.append(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def extract_targets(path: Path) -> Iterable[str]:
+    content = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    for pattern in (INLINE_LINK, REFERENCE_DEF):
+        for match in pattern.finditer(content):
+            yield match.group(1)
+
+
+def check_file(md: Path, repo_root: Path) -> Tuple[List[str], int]:
+    """Broken-link messages and the count of links checked for one file."""
+    problems: List[str] = []
+    checked = 0
+    for target in extract_targets(md):
+        if target.startswith(EXTERNAL_SCHEMES):
+            continue
+        checked += 1
+        path_part, _, anchor = target.partition("#")
+        if path_part:
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                problems.append(f"{md}: broken link -> {target}")
+                continue
+            if repo_root not in resolved.parents and resolved != repo_root:
+                problems.append(f"{md}: link escapes the repo -> {target}")
+                continue
+        else:
+            resolved = md.resolve()
+        if anchor:
+            if resolved.suffix.lower() not in (".md", ".markdown"):
+                problems.append(f"{md}: anchor on a non-markdown target -> {target}")
+                continue
+            if anchor.lower() not in heading_slugs(resolved):
+                problems.append(f"{md}: missing anchor -> {target}")
+    return problems, checked
+
+
+def collect_markdown(paths: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return files
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        help="markdown files and/or directories to scan recursively",
+    )
+    args = parser.parse_args(argv)
+    repo_root = Path(__file__).resolve().parent.parent
+    files = collect_markdown(args.paths)
+    all_problems: List[str] = []
+    total = 0
+    for md in files:
+        problems, checked = check_file(md, repo_root)
+        all_problems.extend(problems)
+        total += checked
+    for problem in all_problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    print(
+        f"checked {total} relative links/anchors across {len(files)} files: "
+        f"{len(all_problems)} broken"
+    )
+    return 1 if all_problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -45,6 +45,7 @@ from . import (
     lca,
     primitives,
     service,
+    workloads,
 )
 from .bridges import (
     BridgeResult,
@@ -84,8 +85,9 @@ from .service import (
     Router,
     ServiceStats,
 )
+from .workloads import Scenario, ScenarioReport, make_scenario, replay
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -98,6 +100,7 @@ __all__ = [
     "bridges",
     "experiments",
     "service",
+    "workloads",
     "errors",
     # most-used classes and functions
     "DeviceSpec",
@@ -131,6 +134,11 @@ __all__ = [
     "ClusterService",
     "ClusterStats",
     "Router",
+    # workload scenarios
+    "Scenario",
+    "ScenarioReport",
+    "make_scenario",
+    "replay",
     # errors
     "ReproError",
     "InvalidGraphError",

@@ -12,7 +12,12 @@ from .datasets import (
     load_dataset,
 )
 from .report import format_rows, format_series, pivot_rows
-from .service_experiments import offered_load_sweep, serve_query_stream
+from .service_experiments import (
+    offered_load_sweep,
+    replica_scaling_sweep,
+    scenario_suite,
+    serve_query_stream,
+)
 from .runner import (
     BRIDGE_ALGORITHMS,
     BREAKDOWN_BRIDGE_ALGORITHMS,
@@ -47,6 +52,8 @@ __all__ = [
     "bridges_experiments",
     "service_experiments",
     "offered_load_sweep",
+    "replica_scaling_sweep",
+    "scenario_suite",
     "serve_query_stream",
     "format_rows",
     "format_series",

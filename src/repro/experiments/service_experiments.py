@@ -35,12 +35,14 @@ from ..service import (
     estimate_batch_query_time,
     make_router,
 )
+from ..workloads import SCENARIOS, make_scenario, replay
 
 __all__ = [
     "serve_query_stream",
     "offered_load_sweep",
     "wallclock_serve_run",
     "replica_scaling_sweep",
+    "scenario_suite",
     "DEFAULT_POLICIES",
 ]
 
@@ -231,6 +233,72 @@ def replica_scaling_sweep(
                 "load_imbalance": round(stats.load_imbalance, 3),
                 "shed_rate": round(stats.shed_rate, 4),
                 "cache_hit_rate": round(stats.cache_hit_rate, 3),
+            })
+    return rows
+
+
+def scenario_suite(
+    scenario_names: Optional[Sequence[str]] = None,
+    *,
+    policies: Sequence[str] = ROUTER_POLICIES,
+    n_replicas: int = 4,
+    max_pending: Optional[int] = 8192,
+    max_batch: int = 256,
+    max_wait_s: float = 2e-4,
+    admission_window_s: float = 5e-3,
+    scale: float = 1.0,
+    seed: int = 0,
+    check_answers: bool = False,
+) -> List[Dict[str, object]]:
+    """Sweep named scenarios × routing policies on a bounded replica cluster.
+
+    The serving-layer question the workload package exists to answer: *how
+    does the same cluster behave under every traffic shape we can imagine?*
+    Each (scenario, policy) cell builds a fresh ``n_replicas``-replica
+    cluster with a ``max_pending`` admission bound, replays the named
+    scenario through :func:`repro.workloads.replay`, and reports the
+    scenario totals — delivered throughput, p50/p99 modeled latency, shed
+    rate and load imbalance — plus the per-phase peak shed rate (the
+    flash-crowd signature).
+
+    Expected shape: ``steady``/``diurnal`` never shed under any policy;
+    ``flash-crowd`` sheds heavily during its flash phase no matter how the
+    copies are balanced (admission control, not routing, is the binding
+    constraint); the skewed scenarios separate the load-spreading policies
+    (imbalance ≈ 1) from ``consistent-hash`` (imbalance grows with the
+    number of pinned-hot datasets per replica).
+    """
+    names = list(scenario_names) if scenario_names is not None else sorted(SCENARIOS)
+    policy = BatchPolicy(max_batch_size=int(max_batch), max_wait_s=float(max_wait_s))
+    rows: List[Dict[str, object]] = []
+    for policy_name in policies:
+        for name in names:
+            cluster = ClusterService(
+                int(n_replicas),
+                policy=policy,
+                router=make_router(policy_name),
+                max_pending=max_pending,
+            )
+            report = replay(
+                cluster,
+                make_scenario(name, scale=scale, seed=seed),
+                admission_window_s=admission_window_s,
+                check_answers=check_answers,
+            )
+            peak_shed = max(p.shed_rate for p in report.phases)
+            rows.append({
+                "scenario": name,
+                "policy": policy_name,
+                "replicas": int(n_replicas),
+                "phases": len(report.phases),
+                "offered": report.queries_offered,
+                "admitted": report.queries_admitted,
+                "shed_rate": round(report.shed_rate, 4),
+                "peak_phase_shed_rate": round(peak_shed, 4),
+                "throughput_qps": float(f"{report.throughput_qps:.6g}"),
+                "latency_p50_us": round(report.latency_p50_s * 1e6, 2),
+                "latency_p99_us": round(report.latency_p99_s * 1e6, 2),
+                "load_imbalance": round(report.load_imbalance, 3),
             })
     return rows
 

@@ -203,8 +203,8 @@ class ClusterService:
     >>> from repro.graphs.generators import random_attachment_tree
     >>> from repro.service import ClusterService
     >>> cluster = ClusterService(4)
-    >>> cluster.register_tree("t", random_attachment_tree(64, seed=0),
-    ...                       replicas=4)
+    >>> placement = cluster.register_tree("t", random_attachment_tree(64, seed=0),
+    ...                                   replicas=4)
     >>> tickets = cluster.submit_many("t", [1, 3, 5], [2, 4, 6],
     ...                               at=np.arange(3) * 1e-6)
     >>> cluster.drain()
@@ -260,21 +260,62 @@ class ClusterService:
     # ------------------------------------------------------------------
     @property
     def n_replicas(self) -> int:
-        """Number of replica workers."""
+        """Number of replica workers.
+
+        >>> ClusterService(4).n_replicas
+        4
+        """
         return len(self._replicas)
 
     @property
     def replicas(self) -> Tuple[LCAQueryService, ...]:
-        """The replica workers, in replica-id order (read-only tuple)."""
+        """The replica workers, in replica-id order (read-only tuple).
+
+        >>> workers = ClusterService(2).replicas
+        >>> len(workers)
+        2
+        """
         return self._replicas
 
     @property
     def datasets(self) -> List[str]:
-        """Names of all registered datasets."""
+        """Names of all registered datasets.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]))
+        >>> cluster.datasets
+        ['t']
+        """
         return list(self._placement)
 
+    @property
+    def tickets_issued(self) -> int:
+        """How many cluster tickets have been issued (tickets are ``0..n-1``).
+
+        Mirrors :attr:`LCAQueryService.tickets_issued`: cluster tickets are
+        consecutive integers, so recording this before a submission
+        identifies the tickets a partially admitted block received even
+        when the submission raised :class:`~repro.errors.Overloaded`.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]))
+        >>> _ = cluster.submit_many("t", [1, 2], [2, 1])
+        >>> cluster.tickets_issued
+        2
+        """
+        return self._next_ticket
+
     def placement(self, dataset: str) -> Tuple[int, ...]:
-        """Replica ids holding ``dataset``, in placement order."""
+        """Replica ids holding ``dataset``, in placement order.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(4)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]), on=[1, 3])
+        >>> cluster.placement("t")
+        (1, 3)
+        """
         return self._copies(dataset)
 
     def register_tree(
@@ -293,6 +334,15 @@ class ClusterService:
         replica-count changes); ``on`` pins the copies to explicit replica
         ids instead.  A lazy ``loader`` is wrapped so it runs once no matter
         how many copies exist — every copy shares the loaded array.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(4)
+        >>> cluster.register_tree("pinned", np.array([-1, 0]), on=[0, 2])
+        (0, 2)
+        >>> ringed = cluster.register_tree("ringed", np.array([-1, 0]),
+        ...                                replicas=2)
+        >>> len(ringed)
+        2
         """
         if name in self._placement:
             raise ServiceError(f"dataset {name!r} is already registered")
@@ -348,6 +398,13 @@ class ClusterService:
         :class:`~repro.errors.Overloaded`, and the arrival pre-advances
         every worker to ``t`` so routing and admission observe
         ``t``-fresh queue depths.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0, 1]))
+        >>> ticket = cluster.submit("t", 2, 3)
+        >>> cluster.drain(); cluster.result(ticket)
+        0
         """
         copies = self._copies(dataset)
         n = self._dataset_size(dataset)
@@ -411,6 +468,15 @@ class ClusterService:
         queue's free space — measured at the block's first arrival — and
         raises :class:`~repro.errors.Overloaded` for the remainder; chunked
         submission lets admission observe mid-stream flushes.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0, 1]))
+        >>> tickets = cluster.submit_many("t", [1, 2], [3, 3],
+        ...                               at=np.array([0.0, 1e-6]))
+        >>> cluster.drain()
+        >>> cluster.results(tickets).tolist()   # LCA(1,3)=1, LCA(2,3)=0
+        [1, 0]
         """
         copies = self._copies(dataset)
         xs = np.atleast_1d(np.asarray(xs, dtype=np.int64))
@@ -489,6 +555,13 @@ class ClusterService:
         A production cluster warms caches before taking traffic; benchmarks
         call this so steady-state throughput is not diluted by each copy's
         one-time index build (which would otherwise dominate short streams).
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]))
+        >>> cluster.warm("t")
+        >>> cluster.stats().cache_misses > 0   # indexes were prebuilt
+        True
         """
         for c in self._copies(dataset):
             worker = self._replicas[c]
@@ -498,7 +571,18 @@ class ClusterService:
                 )
 
     def advance_to(self, t: float) -> None:
-        """Advance the whole cluster, serving every wait-expired batch."""
+        """Advance the whole cluster, serving every wait-expired batch.
+
+        >>> import numpy as np
+        >>> from repro.service import BatchPolicy
+        >>> cluster = ClusterService(2, policy=BatchPolicy(max_batch_size=8,
+        ...                                                max_wait_s=1e-3))
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]))
+        >>> ticket = cluster.submit("t", 1, 2, at=0.0)
+        >>> cluster.advance_to(2e-3)    # past the 1 ms wait deadline
+        >>> cluster.result(ticket)
+        0
+        """
         t = self.clock.advance_to(float(t))
         for replica in self._replicas:
             replica.advance_to(t)
@@ -510,6 +594,14 @@ class ClusterService:
         any wait deadlines that expired strictly before it), so drain-time
         flushes happen at one well-defined cluster instant regardless of
         which worker each query was routed to.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]))
+        >>> _ = cluster.submit_many("t", [1, 2], [2, 1])
+        >>> cluster.drain()
+        >>> cluster.pending_count()
+        0
         """
         for replica in self._replicas:
             replica.sync_to(self.clock.now)
@@ -517,7 +609,17 @@ class ClusterService:
             replica.drain()
 
     def pending_count(self, dataset: Optional[str] = None) -> int:
-        """Queries currently queued (for one dataset, or cluster-wide)."""
+        """Queries currently queued (for one dataset, or cluster-wide).
+
+        >>> import numpy as np
+        >>> from repro.service import BatchPolicy
+        >>> cluster = ClusterService(2, policy=BatchPolicy(max_batch_size=8,
+        ...                                                max_wait_s=1.0))
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]))
+        >>> _ = cluster.submit("t", 1, 2)
+        >>> cluster.pending_count("t"), cluster.pending_count()
+        (1, 1)
+        """
         if dataset is not None:
             return sum(
                 self._replicas[c].pending_count(dataset)
@@ -529,7 +631,16 @@ class ClusterService:
     # Results
     # ------------------------------------------------------------------
     def result(self, ticket: int) -> int:
-        """The answer for one cluster ticket (its batch must have served)."""
+        """The answer for one cluster ticket (its batch must have served).
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]))
+        >>> ticket = cluster.submit("t", 1, 2)
+        >>> cluster.drain()
+        >>> cluster.result(ticket)
+        0
+        """
         t = int(ticket)
         if not 0 <= t < self._next_ticket:
             raise ServiceError(f"unknown ticket {ticket}")
@@ -546,6 +657,14 @@ class ClusterService:
 
         Raises :class:`ServiceError` for the first unknown or still-queued
         ticket in the sequence, exactly as :meth:`result` would.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0, 1]))
+        >>> tickets = cluster.submit_many("t", [3, 2], [1, 3])
+        >>> cluster.drain()
+        >>> cluster.results(tickets).tolist()
+        [1, 0]
         """
         idx = np.atleast_1d(np.asarray(tickets)).astype(np.int64, copy=False)
         if idx.size == 0:
@@ -558,14 +677,32 @@ class ClusterService:
         return out
 
     def latency(self, ticket: int) -> float:
-        """Modeled end-to-end latency of one answered query."""
+        """Modeled end-to-end latency of one answered query.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]))
+        >>> ticket = cluster.submit("t", 1, 2)
+        >>> cluster.drain()
+        >>> cluster.latency(ticket) > 0.0
+        True
+        """
         self.result(ticket)  # raises uniformly for unknown/queued tickets
         t = int(ticket)
         replica = self._replicas[int(self._ticket_replica[t])]
         return replica.latency(int(self._ticket_local[t]))
 
     def latencies(self, tickets: ArrayLike) -> np.ndarray:
-        """Vector of modeled latencies for a sequence of answered tickets."""
+        """Vector of modeled latencies for a sequence of answered tickets.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]))
+        >>> tickets = cluster.submit_many("t", [1, 2], [2, 1])
+        >>> cluster.drain()
+        >>> bool((cluster.latencies(tickets) > 0.0).all())
+        True
+        """
         idx = np.atleast_1d(np.asarray(tickets)).astype(np.int64, copy=False)
         if idx.size == 0:
             return np.empty(0, dtype=np.float64)
@@ -580,7 +717,17 @@ class ClusterService:
     # Observability
     # ------------------------------------------------------------------
     def stats(self) -> ClusterStats:
-        """Aggregate the replicas' statistics into one cluster snapshot."""
+        """Aggregate the replicas' statistics into one cluster snapshot.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]))
+        >>> _ = cluster.submit_many("t", [1, 2], [2, 1])
+        >>> cluster.drain()
+        >>> stats = cluster.stats()
+        >>> stats.queries_answered, stats.queries_shed
+        (2, 0)
+        """
         per = tuple(replica.stats() for replica in self._replicas)
         collectors = [replica.stats_collector for replica in self._replicas]
         views = [c.latency_values for c in collectors if c.latency_values.size]

@@ -47,6 +47,11 @@ def stable_hash(key: str) -> int:
 
     Python's builtin ``hash`` is salted per process; this one is a BLAKE2b
     digest, so ring positions and rendezvous weights are reproducible.
+
+    >>> stable_hash("dataset") == stable_hash("dataset")
+    True
+    >>> 0 <= stable_hash("dataset") < 2**64
+    True
     """
     digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "big")
@@ -93,18 +98,34 @@ class HashRing:
     # ------------------------------------------------------------------
     @property
     def replica_ids(self) -> Tuple[int, ...]:
-        """The replicas currently on the ring, ascending."""
+        """The replicas currently on the ring, ascending.
+
+        >>> HashRing(range(3)).replica_ids
+        (0, 1, 2)
+        """
         return self._ids
 
     def add(self, replica_id: int) -> None:
-        """Add a replica; only keys landing on its arcs change placement."""
+        """Add a replica; only keys landing on its arcs change placement.
+
+        >>> ring = HashRing(range(2))
+        >>> ring.add(5)
+        >>> ring.replica_ids
+        (0, 1, 5)
+        """
         if int(replica_id) in self._ids:
             raise ServiceError(f"replica {replica_id} is already on the ring")
         self._ids = tuple(sorted(self._ids + (int(replica_id),)))
         self._rebuild()
 
     def remove(self, replica_id: int) -> None:
-        """Remove a replica; only keys it owned change placement."""
+        """Remove a replica; only keys it owned change placement.
+
+        >>> ring = HashRing(range(3))
+        >>> ring.remove(1)
+        >>> ring.replica_ids
+        (0, 2)
+        """
         if int(replica_id) not in self._ids:
             raise ServiceError(f"replica {replica_id} is not on the ring")
         if len(self._ids) == 1:
@@ -121,6 +142,18 @@ class HashRing:
         ``count`` is capped at the number of replicas on the ring.  The
         returned order is the placement order: element 0 is the key's
         *primary* replica, the rest are where additional copies go.
+
+        Placements are deterministic, and adding a replica only moves keys
+        onto the newcomer — every other placement is untouched:
+
+        >>> ring = HashRing(range(4))
+        >>> ring.place("hot", 2) == ring.place("hot", 2)
+        True
+        >>> before = {k: ring.place(k)[0] for k in ("a", "b", "c", "d")}
+        >>> ring.add(9)
+        >>> after = {k: ring.place(k)[0] for k in before}
+        >>> all(after[k] in (before[k], 9) for k in before)
+        True
         """
         if count < 1:
             raise ServiceError("placement count must be at least 1")
@@ -160,7 +193,14 @@ class Router:
         outstanding: np.ndarray,
         size: int,
     ) -> np.ndarray:
-        """Replica id for each of ``size`` queries (in arrival order)."""
+        """Replica id for each of ``size`` queries (in arrival order).
+
+        >>> import numpy as np
+        >>> router = RoundRobinRouter()
+        >>> router.route_block("d", (0, 1, 2), np.zeros(3, dtype=np.int64),
+        ...                    4).tolist()
+        [0, 1, 2, 0]
+        """
         raise NotImplementedError
 
     def route_one(
@@ -169,7 +209,12 @@ class Router:
         copies: Sequence[int],
         outstanding: np.ndarray,
     ) -> int:
-        """Replica id for a single query."""
+        """Replica id for a single query.
+
+        >>> import numpy as np
+        >>> RoundRobinRouter().route_one("d", (5, 7), np.zeros(2, dtype=np.int64))
+        5
+        """
         return int(self.route_block(dataset, copies, outstanding, 1)[0])
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
@@ -181,6 +226,14 @@ class RoundRobinRouter(Router):
 
     The cursor is per dataset, so interleaved traffic for different datasets
     does not perturb each dataset's own rotation.  Ignores queue depths.
+
+    >>> import numpy as np
+    >>> router = RoundRobinRouter()
+    >>> depths = np.zeros(3, dtype=np.int64)
+    >>> router.route_block("d", (0, 1, 2), depths, 4).tolist()
+    [0, 1, 2, 0]
+    >>> router.route_block("d", (0, 1, 2), depths, 2).tolist()  # resumes
+    [1, 2]
     """
 
     name = "round-robin"
@@ -216,6 +269,11 @@ class LeastOutstandingRouter(Router):
     Queue depths are sampled once per routed block (the cluster snapshots
     them at the block's first arrival), which is how real least-outstanding
     balancers behave: they observe counters, not the future.
+
+    >>> import numpy as np
+    >>> router = LeastOutstandingRouter()
+    >>> router.route_block("d", (0, 1), np.array([3, 0]), 4).tolist()
+    [1, 1, 1, 0]
     """
 
     name = "least-outstanding"
@@ -283,6 +341,12 @@ class ConsistentHashRouter(Router):
     replication factor of 1 this is simply "the dataset's only copy"; the
     policy earns its keep on many-dataset workloads, where it maximizes
     per-replica index-cache hit rates at the price of ignoring load.
+
+    >>> import numpy as np
+    >>> router = ConsistentHashRouter()
+    >>> block = router.route_block("d", (0, 1, 2), np.zeros(3, dtype=np.int64), 5)
+    >>> bool((block == block[0]).all())     # every query pinned to one copy
+    True
     """
 
     name = "consistent-hash"
@@ -310,7 +374,13 @@ ROUTER_POLICIES: Tuple[str, ...] = (
 
 
 def make_router(policy: str) -> Router:
-    """A fresh router instance for a policy name (see :data:`ROUTER_POLICIES`)."""
+    """A fresh router instance for a policy name (see :data:`ROUTER_POLICIES`).
+
+    >>> make_router("least-outstanding").name
+    'least-outstanding'
+    >>> sorted(ROUTER_POLICIES)
+    ['consistent-hash', 'least-outstanding', 'round-robin']
+    """
     if policy == RoundRobinRouter.name:
         return RoundRobinRouter()
     if policy == LeastOutstandingRouter.name:

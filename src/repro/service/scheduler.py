@@ -55,6 +55,13 @@ class BatchPolicy:
     its own batch); ``max_wait_s=0.0`` flushes a pending queue as soon as time
     moves at all, which bounds added queueing latency at zero but only forms
     batches out of queries arriving at the same instant.
+
+    >>> BatchPolicy(max_batch_size=256, max_wait_s=1e-4).max_batch_size
+    256
+    >>> BatchPolicy(max_batch_size=0)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ServiceError: max_batch_size must be at least 1
     """
 
     max_batch_size: int = 1024
@@ -100,12 +107,25 @@ class FlushedBatch:
 
     @property
     def size(self) -> int:
-        """Number of queries in the batch."""
+        """Number of queries in the batch.
+
+        >>> s = MicroBatchScheduler()
+        >>> _ = s.submit(0, 1, 2)
+        >>> [b.size for b in s.drain()]
+        [1]
+        """
         return int(self.xs.size)
 
     @property
     def queue_wait_s(self) -> np.ndarray:
-        """Per-query time spent waiting in the queue before the flush."""
+        """Per-query time spent waiting in the queue before the flush.
+
+        >>> s = MicroBatchScheduler(BatchPolicy(max_batch_size=8,
+        ...                                     max_wait_s=1e-3))
+        >>> _ = s.submit(0, 1, 2, at=0.0)
+        >>> [b.queue_wait_s.tolist() for b in s.advance_to(1e-2)]
+        [[0.001]]
+        """
         return self.flush_s - self.arrival_s
 
 
@@ -174,19 +194,40 @@ class MicroBatchScheduler:
     # ------------------------------------------------------------------
     @property
     def pending_count(self) -> int:
-        """Number of queries currently queued."""
+        """Number of queries currently queued.
+
+        >>> s = MicroBatchScheduler()
+        >>> _ = s.submit(0, 1, 2)
+        >>> s.pending_count
+        1
+        """
         return self._tail - self._head
 
     @property
     def next_deadline(self) -> Optional[float]:
-        """Instant at which the oldest pending query must be flushed."""
+        """Instant at which the oldest pending query must be flushed.
+
+        >>> s = MicroBatchScheduler(BatchPolicy(max_batch_size=8,
+        ...                                     max_wait_s=1e-3))
+        >>> s.next_deadline is None     # nothing queued, no deadline
+        True
+        >>> _ = s.submit(0, 1, 2, at=0.0)
+        >>> s.next_deadline             # oldest arrival + max_wait_s
+        0.001
+        """
         if self._tail == self._head:
             return None
         return float(self._arrival[self._head]) + self.policy.max_wait_s
 
     @property
     def pending(self) -> List[PendingQuery]:
-        """Row-wise snapshot of the queued queries (introspection only)."""
+        """Row-wise snapshot of the queued queries (introspection only).
+
+        >>> s = MicroBatchScheduler()
+        >>> _ = s.submit(7, 1, 2, at=0.0)
+        >>> s.pending
+        [PendingQuery(ticket=7, x=1, y=2, arrival_s=0.0)]
+        """
         h, t = self._head, self._tail
         return [
             PendingQuery(int(self._tickets[i]), int(self._xs[i]),
@@ -205,6 +246,13 @@ class MicroBatchScheduler:
         Advancing to ``at`` first fires any wait deadlines that expire before
         the new query arrives, so batches never contain queries that should
         already have been served.
+
+        >>> s = MicroBatchScheduler(BatchPolicy(max_batch_size=2,
+        ...                                     max_wait_s=1e-3))
+        >>> s.submit(0, 1, 2, at=0.0)             # queued, nothing flushes
+        []
+        >>> [b.trigger for b in s.submit(1, 3, 4, at=1e-4)]   # batch full
+        ['size']
         """
         t = self.clock.now if at is None else self.clock.advance_to(at)
         # Only strictly-past deadlines flush here: a query arriving exactly at
@@ -235,6 +283,15 @@ class MicroBatchScheduler:
         ``arrival_s`` must be non-decreasing and start at or after the current
         simulated time (the same monotonicity :meth:`submit` enforces through
         the clock).  The caller is expected to have validated the queries.
+
+        >>> s = MicroBatchScheduler(BatchPolicy(max_batch_size=2,
+        ...                                     max_wait_s=1.0))
+        >>> batches = s.submit_block(np.arange(3), np.array([1, 2, 3]),
+        ...                          np.array([4, 5, 6]), np.zeros(3))
+        >>> [(b.trigger, b.size) for b in batches]   # one size flush of 2
+        [('size', 2)]
+        >>> s.pending_count                          # the third query waits
+        1
         """
         count = int(arrival_s.size)
         if count == 0:
@@ -282,12 +339,26 @@ class MicroBatchScheduler:
         With ``include_equal=False``, a deadline exactly at ``t`` is left
         pending — the service layer uses this on the submit path so a query
         arriving at ``t`` can still join that batch.
+
+        >>> s = MicroBatchScheduler(BatchPolicy(max_batch_size=8,
+        ...                                     max_wait_s=1e-3))
+        >>> _ = s.submit(0, 1, 2, at=0.0)
+        >>> [b.trigger for b in s.advance_to(5e-3)]   # deadline passed
+        ['wait']
         """
         self.clock.advance_to(t)
         return self._flush_expired(float(t), include_equal=include_equal)
 
     def drain(self) -> List[FlushedBatch]:
-        """Force out everything still pending (at the current time)."""
+        """Force out everything still pending (at the current time).
+
+        >>> s = MicroBatchScheduler()
+        >>> _ = s.submit(0, 1, 2)
+        >>> [b.trigger for b in s.drain()]
+        ['drain']
+        >>> s.drain()                   # empty queue: nothing to force out
+        []
+        """
         out: List[FlushedBatch] = []
         while self._tail > self._head:
             out.append(self._flush(self.clock.now, "drain"))

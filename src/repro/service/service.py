@@ -169,14 +169,50 @@ class LCAQueryService:
     def register_tree(self, name: str, parents: Optional[np.ndarray] = None, *,
                       loader: Optional[Callable[[], np.ndarray]] = None,
                       validate: bool = False) -> None:
-        """Register a named tree and give it a scheduler."""
+        """Register a named tree and give it a scheduler.
+
+        Pass the parent array directly, or a zero-argument ``loader`` for
+        lazy materialization on first use.
+
+        >>> svc = LCAQueryService()
+        >>> svc.register_tree("eager", np.array([-1, 0, 0]))
+        >>> svc.register_tree("lazy", loader=lambda: np.array([-1, 0]))
+        >>> svc.datasets
+        ['eager', 'lazy']
+        """
         self.store.add_tree(name, parents, loader=loader, validate=validate)
         self._add_scheduler(name)
 
     @property
     def datasets(self) -> List[str]:
-        """Names of all registered datasets."""
+        """Names of all registered datasets.
+
+        >>> svc = LCAQueryService()
+        >>> svc.register_tree("a", np.array([-1, 0]))
+        >>> svc.register_tree("b", np.array([-1, 0, 0]))
+        >>> svc.datasets
+        ['a', 'b']
+        """
         return list(self._schedulers)
+
+    @property
+    def tickets_issued(self) -> int:
+        """How many tickets have been issued so far (tickets are ``0..n-1``).
+
+        Tickets are consecutive integers, so a caller that records this
+        before a submission knows exactly which tickets that submission
+        received — including a partially admitted block (the workload
+        replay harness uses this to keep per-phase ticket ranges).
+
+        >>> svc = LCAQueryService()
+        >>> svc.register_tree("t", np.array([-1, 0, 0]))
+        >>> svc.tickets_issued
+        0
+        >>> _ = svc.submit_many("t", [1, 2], [2, 1])
+        >>> svc.tickets_issued
+        2
+        """
+        return self._next_ticket
 
     # ------------------------------------------------------------------
     # Query path
@@ -194,6 +230,13 @@ class LCAQueryService:
         lazily registered tree is materialized by its first submission): a
         bad query is rejected at its own submit call instead of exploding at
         flush time inside a batch of other callers' queries.
+
+        >>> svc = LCAQueryService()
+        >>> svc.register_tree("t", np.array([-1, 0, 0, 1]))
+        >>> svc.submit("t", 2, 3)       # tickets count up from 0
+        0
+        >>> svc.drain(); svc.result(0)  # LCA of nodes 2 and 3 is the root
+        0
         """
         scheduler = self._scheduler(dataset)
         n = self.store.tree(dataset).size
@@ -232,6 +275,14 @@ class LCAQueryService:
         Error semantics match the per-query loop exactly: an out-of-range
         query or a backwards arrival raises at its own position, after every
         query before it has been admitted (and possibly served).
+
+        >>> svc = LCAQueryService()
+        >>> svc.register_tree("t", np.array([-1, 0, 0, 1]))
+        >>> tickets = svc.submit_many("t", [1, 2], [3, 3],
+        ...                           at=np.array([0.0, 1e-6]))
+        >>> svc.drain()
+        >>> svc.results(tickets).tolist()   # LCA(1,3)=1, LCA(2,3)=0
+        [1, 0]
         """
         scheduler = self._scheduler(dataset)
         xs = np.atleast_1d(np.asarray(xs, dtype=np.int64))
@@ -279,6 +330,14 @@ class LCAQueryService:
         applies internally).  The cluster layer uses this to pre-advance
         replica workers to an arrival instant without perturbing the batch
         the arrival belongs to.
+
+        >>> svc = LCAQueryService(policy=BatchPolicy(max_batch_size=8,
+        ...                                          max_wait_s=1e-3))
+        >>> svc.register_tree("t", np.array([-1, 0, 0]))
+        >>> t = svc.submit("t", 1, 2, at=0.0)
+        >>> svc.advance_to(2e-3)        # past the 1 ms wait deadline
+        >>> svc.result(t)
+        0
         """
         for name, batch in self._expired_batches(float(t), exclusive=joining):
             self._serve(name, batch)
@@ -293,12 +352,31 @@ class LCAQueryService:
         with the cluster frontier at a drain boundary; on a replica whose
         clock already sits at ``t`` it is a no-op (every strictly earlier
         deadline was flushed by the submission that advanced the clock).
+
+        >>> svc = LCAQueryService(policy=BatchPolicy(max_batch_size=8,
+        ...                                          max_wait_s=1e-3))
+        >>> svc.register_tree("t", np.array([-1, 0, 0]))
+        >>> t = svc.submit("t", 1, 2, at=0.0)
+        >>> svc.sync_to(1e-3)           # deadline exactly at t stays pending
+        >>> svc.pending_count("t")
+        1
+        >>> svc.advance_to(1e-3)        # inclusive semantics: now it flushes
+        >>> svc.pending_count("t")
+        0
         """
         for name, batch in self._expired_batches(float(t), include_equal=False):
             self._serve(name, batch)
 
     def drain(self) -> None:
-        """Flush and serve everything still queued, on every dataset."""
+        """Flush and serve everything still queued, on every dataset.
+
+        >>> svc = LCAQueryService()
+        >>> svc.register_tree("t", np.array([-1, 0]))
+        >>> t = svc.submit("t", 0, 1)
+        >>> svc.drain()
+        >>> svc.pending_count()
+        0
+        """
         for name, scheduler in self._schedulers.items():
             for batch in scheduler.drain():
                 self._serve(name, batch)
@@ -307,7 +385,19 @@ class LCAQueryService:
     # Results
     # ------------------------------------------------------------------
     def result(self, ticket: int) -> int:
-        """The answer for one ticket (its batch must have been served)."""
+        """The answer for one ticket (its batch must have been served).
+
+        >>> svc = LCAQueryService()
+        >>> svc.register_tree("t", np.array([-1, 0, 0]))
+        >>> t = svc.submit("t", 1, 2)
+        >>> svc.drain()
+        >>> svc.result(t)
+        0
+        >>> svc.result(99)
+        Traceback (most recent call last):
+            ...
+        repro.errors.ServiceError: unknown ticket 99
+        """
         t = int(ticket)
         if not 0 <= t < self._next_ticket:
             raise ServiceError(f"unknown ticket {ticket}")
@@ -322,6 +412,13 @@ class LCAQueryService:
 
         Raises :class:`ServiceError` exactly as :meth:`result` would for the
         first unknown or still-queued ticket in the sequence.
+
+        >>> svc = LCAQueryService()
+        >>> svc.register_tree("t", np.array([-1, 0, 0, 1]))
+        >>> tickets = svc.submit_many("t", [3, 2], [1, 3])
+        >>> svc.drain()
+        >>> svc.results(tickets).tolist()
+        [1, 0]
         """
         idx = np.atleast_1d(np.asarray(tickets)).astype(np.int64, copy=False)
         if idx.size == 0:
@@ -344,6 +441,13 @@ class LCAQueryService:
         it is the non-throwing probe the cluster layer uses to report the
         first still-queued ticket of a cross-replica sequence in the caller's
         order.  Unknown tickets still raise :class:`ServiceError`.
+
+        >>> svc = LCAQueryService(policy=BatchPolicy(max_batch_size=2,
+        ...                                          max_wait_s=1.0))
+        >>> svc.register_tree("t", np.array([-1, 0, 0]))
+        >>> a, b, c = [svc.submit("t", 1, 2) for _ in range(3)]
+        >>> svc.answered([a, b, c]).tolist()   # size flush served a and b
+        [True, True, False]
         """
         idx = np.atleast_1d(np.asarray(tickets)).astype(np.int64, copy=False)
         if idx.size == 0:
@@ -354,24 +458,56 @@ class LCAQueryService:
         return self._answered[idx]
 
     def latency(self, ticket: int) -> float:
-        """Modeled end-to-end latency of one answered query."""
+        """Modeled end-to-end latency of one answered query.
+
+        >>> svc = LCAQueryService()
+        >>> svc.register_tree("t", np.array([-1, 0, 0]))
+        >>> t = svc.submit("t", 1, 2)
+        >>> svc.drain()
+        >>> svc.latency(t) > 0.0       # waiting + queueing + execution
+        True
+        """
         self.result(ticket)  # raises uniformly for unknown/queued tickets
         return float(self._latencies[int(ticket)])
 
     def latencies(self, tickets: ArrayLike) -> np.ndarray:
-        """Vector of modeled latencies for a sequence of answered tickets."""
+        """Vector of modeled latencies for a sequence of answered tickets.
+
+        >>> svc = LCAQueryService()
+        >>> svc.register_tree("t", np.array([-1, 0, 0]))
+        >>> tickets = svc.submit_many("t", [1, 2], [2, 1])
+        >>> svc.drain()
+        >>> bool((svc.latencies(tickets) > 0.0).all())
+        True
+        """
         idx = np.atleast_1d(np.asarray(tickets)).astype(np.int64, copy=False)
         self.results(idx)  # same validation as results()
         return self._latencies[idx] if idx.size else np.empty(0, dtype=np.float64)
 
     def pending_count(self, dataset: Optional[str] = None) -> int:
-        """Queries currently queued (for one dataset, or in total)."""
+        """Queries currently queued (for one dataset, or in total).
+
+        >>> svc = LCAQueryService(policy=BatchPolicy(max_batch_size=8,
+        ...                                          max_wait_s=1.0))
+        >>> svc.register_tree("t", np.array([-1, 0, 0]))
+        >>> t = svc.submit("t", 1, 2)
+        >>> svc.pending_count("t"), svc.pending_count()
+        (1, 1)
+        """
         if dataset is not None:
             return self._scheduler(dataset).pending_count
         return sum(s.pending_count for s in self._schedulers.values())
 
     def stats(self) -> ServiceStats:
-        """Snapshot of the service's accumulated statistics."""
+        """Snapshot of the service's accumulated statistics.
+
+        >>> svc = LCAQueryService()
+        >>> svc.register_tree("t", np.array([-1, 0, 0]))
+        >>> _ = svc.submit_many("t", [1, 2], [2, 1])
+        >>> svc.drain()
+        >>> svc.stats().queries_answered
+        2
+        """
         return self.stats_collector.snapshot(registry=self.registry)
 
     # ------------------------------------------------------------------

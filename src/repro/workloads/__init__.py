@@ -1,0 +1,66 @@
+"""Scenario-driven traffic generation and replay for the serving stack.
+
+Every pre-existing benchmark drove :mod:`repro.service` with one traffic
+shape — uniformly spaced arrivals, uniformly random keys.  This subpackage
+turns "what traffic?" into a first-class, declarative axis:
+
+* :mod:`~repro.workloads.arrivals` — *when* queries land: deterministic,
+  Poisson, inhomogeneous Poisson (thinning over an arbitrary intensity
+  function, after the IPPP model of arXiv:1901.10754), and Markov-modulated
+  on/off bursts;
+* :mod:`~repro.workloads.keys` — *what* they ask: uniform, Zipf-skewed and
+  hot-set-mixture node pairs;
+* :mod:`~repro.workloads.scenario` — the declarative
+  :class:`~repro.workloads.scenario.Scenario` spec (dataset mix × arrival
+  phases × seed) plus the named library (``steady``, ``diurnal``,
+  ``flash-crowd``, ``skewed-hotspot``, ``multi-tenant``);
+* :mod:`~repro.workloads.replay` — :func:`~repro.workloads.replay.replay`
+  feeds any scenario to any :class:`~repro.service.LCAQueryService` or
+  :class:`~repro.service.ClusterService` in vectorized column blocks and
+  returns a :class:`~repro.workloads.replay.ScenarioReport` (per-phase
+  throughput, p50/p99, shed rate, load imbalance).
+
+Everything is seeded and simulated-clock-timed, so a scenario replay is a
+bit-reproducible function of ``(scenario, target configuration)``.
+"""
+
+from .arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    InhomogeneousPoissonArrivals,
+    MarkovModulatedArrivals,
+    PoissonArrivals,
+    constant_intensity,
+    diurnal_intensity,
+    flash_crowd_intensity,
+)
+from .keys import HotspotKeys, KeyDistribution, UniformKeys, ZipfKeys
+from .replay import PhaseReport, ScenarioReport, replay
+from .scenario import SCENARIOS, Phase, Scenario, TrafficSource, make_scenario
+
+__all__ = [
+    # arrival processes
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "PoissonArrivals",
+    "InhomogeneousPoissonArrivals",
+    "MarkovModulatedArrivals",
+    "constant_intensity",
+    "diurnal_intensity",
+    "flash_crowd_intensity",
+    # key distributions
+    "KeyDistribution",
+    "UniformKeys",
+    "ZipfKeys",
+    "HotspotKeys",
+    # scenarios
+    "TrafficSource",
+    "Phase",
+    "Scenario",
+    "SCENARIOS",
+    "make_scenario",
+    # replay
+    "replay",
+    "PhaseReport",
+    "ScenarioReport",
+]

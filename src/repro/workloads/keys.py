@@ -1,0 +1,173 @@
+"""Key-distribution models: *which* nodes a query stream asks about.
+
+Arrival processes (:mod:`repro.workloads.arrivals`) decide *when* queries
+land; these models decide *what* they ask.  The distinction matters for the
+serving stack because node choice drives cache behaviour and — through the
+dataset mix of a :class:`~repro.workloads.scenario.Scenario` — the load
+balance the routers and consistent-hash placement actually see:
+
+* :class:`UniformKeys` — every node pair equally likely, the legacy
+  benchmark workload (bit-compatible with
+  :func:`repro.graphs.trees.generate_random_queries` given the same seed);
+* :class:`ZipfKeys` — node popularity follows a power law
+  (``P(rank r) ∝ 1 / r**alpha``), the empirical shape of social-graph and
+  content-catalog access patterns;
+* :class:`HotspotKeys` — a two-tier mixture: a small "hot set" of nodes
+  absorbs a fixed share of the traffic, the rest is uniform background.
+
+Every model draws from a caller-supplied :class:`numpy.random.Generator`
+with a documented draw order (first the ``xs`` array, then the ``ys``
+array, each in one bulk call), so a scenario's key stream is reproducible
+and independent of how the replay harness chunks its submissions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "KeyDistribution",
+    "UniformKeys",
+    "ZipfKeys",
+    "HotspotKeys",
+]
+
+
+class KeyDistribution:
+    """Base class: samples ``(xs, ys)`` query-node pairs for one dataset."""
+
+    def sample(
+        self, rng: np.random.Generator, size: int, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``size`` node pairs for a tree of ``n`` nodes (int64, in ``[0, n)``)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"{type(self).__name__}()"
+
+
+@dataclass(frozen=True)
+class UniformKeys(KeyDistribution):
+    """Uniform node pairs — the legacy benchmark workload.
+
+    Draws ``xs`` then ``ys`` with two bulk ``integers`` calls, which is
+    exactly what :func:`repro.graphs.trees.generate_random_queries` does:
+    seeded identically, the two produce bit-identical query streams (the
+    steady-scenario equivalence test relies on this).
+
+    >>> import numpy as np
+    >>> xs, ys = UniformKeys().sample(np.random.default_rng(1), 4, 10)
+    >>> bool((xs < 10).all()) and bool((ys < 10).all())
+    True
+    """
+
+    def sample(
+        self, rng: np.random.Generator, size: int, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        xs = rng.integers(0, n, size=size, dtype=np.int64)
+        ys = rng.integers(0, n, size=size, dtype=np.int64)
+        return xs, ys
+
+
+@dataclass(frozen=True)
+class ZipfKeys(KeyDistribution):
+    """Zipf-skewed node pairs: node ``i`` has popularity ``∝ 1/(i+1)**alpha``.
+
+    Bounded-support Zipf via inverse-CDF sampling (``searchsorted`` on the
+    cumulative popularity), so the skew is exact for any ``n`` — unlike
+    ``numpy``'s unbounded ``zipf`` sampler, which needs rejection to bound.
+    Lower node ids are hotter; tree generators in this repo label nodes
+    arbitrarily, so "the hot nodes" are an arbitrary fixed subset, which is
+    all a cache or load-balance experiment needs.
+
+    >>> import numpy as np
+    >>> xs, ys = ZipfKeys(alpha=1.5).sample(np.random.default_rng(2), 2000, 100)
+    >>> counts = np.bincount(xs, minlength=100)
+    >>> bool(counts[0] > counts[10] > 0)   # rank-0 node much hotter than rank 10
+    True
+    """
+
+    alpha: float = 1.1
+    _cdf_cache: Dict[int, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+
+    def _cdf(self, n: int) -> np.ndarray:
+        cdf = self._cdf_cache.get(n)
+        if cdf is None:
+            weights = np.arange(1, n + 1, dtype=np.float64) ** -self.alpha
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+            self._cdf_cache[n] = cdf
+        return cdf
+
+    def _draw(self, rng: np.random.Generator, size: int, n: int) -> np.ndarray:
+        cdf = self._cdf(n)
+        u = rng.random(size)
+        return np.searchsorted(cdf, u, side="right").astype(np.int64)
+
+    def sample(
+        self, rng: np.random.Generator, size: int, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        xs = self._draw(rng, size, n)
+        ys = self._draw(rng, size, n)
+        return xs, ys
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return f"ZipfKeys(alpha={self.alpha})"
+
+
+@dataclass(frozen=True)
+class HotspotKeys(KeyDistribution):
+    """A hot-set mixture: ``hot_weight`` of traffic hits a small node subset.
+
+    The hot set is the first ``ceil(hot_fraction * n)`` node ids; each drawn
+    node comes from the hot set with probability ``hot_weight`` and from the
+    whole id range otherwise.  ``hot_fraction=0.01, hot_weight=0.9`` is the
+    classic "1% of keys take 90% of traffic" cache stress.
+
+    >>> import numpy as np
+    >>> keys = HotspotKeys(hot_fraction=0.1, hot_weight=0.9)
+    >>> xs, ys = keys.sample(np.random.default_rng(3), 5000, 1000)
+    >>> hot_share = float((xs < 100).mean())   # hot set = ids [0, 100)
+    >>> 0.85 < hot_share < 0.97
+    True
+    """
+
+    hot_fraction: float = 0.01
+    hot_weight: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ConfigurationError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= self.hot_weight <= 1.0:
+            raise ConfigurationError("hot_weight must be in [0, 1]")
+
+    def _draw(self, rng: np.random.Generator, size: int, n: int) -> np.ndarray:
+        hot_n = max(1, int(np.ceil(self.hot_fraction * n)))
+        hot = rng.random(size) < self.hot_weight
+        nodes = rng.integers(0, n, size=size, dtype=np.int64)
+        hot_nodes = rng.integers(0, hot_n, size=size, dtype=np.int64)
+        return np.where(hot, hot_nodes, nodes)
+
+    def sample(
+        self, rng: np.random.Generator, size: int, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        xs = self._draw(rng, size, n)
+        ys = self._draw(rng, size, n)
+        return xs, ys
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"HotspotKeys(hot_fraction={self.hot_fraction}, "
+            f"hot_weight={self.hot_weight})"
+        )

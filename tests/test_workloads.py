@@ -1,0 +1,243 @@
+"""Statistical and structural properties of the workload generators.
+
+The arrival processes are stochastic, so their tests are statistical: the
+empirical arrival rate must match the process's intensity function within a
+six-sigma tolerance of the corresponding count distribution (Poisson counts
+concentrate at ``rate * T`` with standard deviation ``sqrt(rate * T)``).
+Hypothesis drives the rates/seeds; the tolerance makes false failures
+astronomically unlikely while real rate bugs (off by a factor, ignoring the
+intensity shape) fail immediately.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads import (
+    SCENARIOS,
+    DeterministicArrivals,
+    HotspotKeys,
+    InhomogeneousPoissonArrivals,
+    MarkovModulatedArrivals,
+    Phase,
+    PoissonArrivals,
+    Scenario,
+    TrafficSource,
+    UniformKeys,
+    ZipfKeys,
+    constant_intensity,
+    diurnal_intensity,
+    flash_crowd_intensity,
+    make_scenario,
+)
+from repro.graphs.trees import generate_random_queries
+
+# np.trapezoid on NumPy >= 2, np.trapz before.
+_trapezoid = getattr(np, "trapezoid", None) or getattr(np, "trapz")
+
+
+def assert_valid_arrivals(times, t0, duration):
+    """Every process must emit sorted float64 times inside its window."""
+    assert times.dtype == np.float64
+    assert (times[1:] >= times[:-1]).all()
+    if times.size:
+        assert times[0] >= t0
+        assert times[-1] < t0 + duration
+
+
+# ----------------------------------------------------------------------
+# Deterministic arrivals
+# ----------------------------------------------------------------------
+def test_deterministic_arrivals_match_legacy_axis():
+    rng = np.random.default_rng(0)
+    times = DeterministicArrivals(200_000.0).generate(0.0, 0.05, rng)
+    expected = np.arange(10_000, dtype=np.float64) / 200_000.0
+    assert np.array_equal(times, expected)
+
+
+def test_deterministic_arrivals_offset_and_empty():
+    rng = np.random.default_rng(0)
+    times = DeterministicArrivals(100.0).generate(2.0, 0.05, rng)
+    assert times.size == 5
+    assert times[0] == 2.0
+    assert DeterministicArrivals(0.0).generate(0.0, 1.0, rng).size == 0
+
+
+# ----------------------------------------------------------------------
+# Homogeneous Poisson: empirical rate matches the configured rate
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    rate=st.floats(min_value=2e3, max_value=2e5),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_poisson_empirical_rate_matches_intensity(rate, seed):
+    duration = 0.5
+    times = PoissonArrivals(rate).generate(1.0, duration, np.random.default_rng(seed))
+    assert_valid_arrivals(times, 1.0, duration)
+    expected = rate * duration
+    assert abs(times.size - expected) < 6.0 * np.sqrt(expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_poisson_gaps_are_memoryless(seed):
+    rate = 50_000.0
+    times = PoissonArrivals(rate).generate(0.0, 1.0, np.random.default_rng(seed))
+    gaps = np.diff(times)
+    # Exponential(1/rate) gaps: the mean gap must sit near 1/rate.
+    assert abs(gaps.mean() * rate - 1.0) < 0.1
+
+
+# ----------------------------------------------------------------------
+# Inhomogeneous Poisson (thinning): binned counts track the intensity
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_inhomogeneous_rate_tracks_diurnal_intensity(seed):
+    duration, bins = 1.0, 8
+    base, peak = 20_000.0, 120_000.0
+    intensity = diurnal_intensity(base, peak, period_s=duration)
+    process = InhomogeneousPoissonArrivals(intensity, peak_qps=peak)
+    times = process.generate(0.0, duration, np.random.default_rng(seed))
+    assert_valid_arrivals(times, 0.0, duration)
+    edges = np.linspace(0.0, duration, bins + 1)
+    counts = np.histogram(times, bins=edges)[0]
+    for b in range(bins):
+        grid = np.linspace(edges[b], edges[b + 1], 257)
+        expected = float(_trapezoid(intensity(grid), grid))
+        assert abs(counts[b] - expected) < 6.0 * np.sqrt(expected), (
+            f"bin {b}: {counts[b]} arrivals vs expected {expected:.0f}"
+        )
+
+
+def test_inhomogeneous_total_matches_expected_count():
+    intensity = flash_crowd_intensity(
+        10_000.0, 500_000.0, flash_start_s=0.2, flash_duration_s=0.1, ramp_s=0.05
+    )
+    process = InhomogeneousPoissonArrivals(intensity, peak_qps=500_000.0)
+    times = process.generate(0.0, 0.5, np.random.default_rng(11))
+    expected = process.expected_count(0.5)
+    assert abs(times.size - expected) < 6.0 * np.sqrt(expected)
+
+
+def test_thinning_rejects_intensity_above_peak():
+    process = InhomogeneousPoissonArrivals(
+        constant_intensity(2_000.0), peak_qps=1_000.0
+    )
+    with pytest.raises(ConfigurationError, match="exceeds peak_qps"):
+        process.generate(0.0, 0.5, np.random.default_rng(0))
+
+
+def test_flash_crowd_intensity_shape():
+    fn = flash_crowd_intensity(
+        10.0, 1000.0, flash_start_s=1.0, flash_duration_s=2.0, ramp_s=0.5
+    )
+    tau = np.array([0.0, 0.75, 1.0, 2.0, 3.0, 3.25, 4.0])
+    rates = fn(tau)
+    assert rates[0] == 10.0 and rates[-1] == 10.0
+    assert rates[2] == 1000.0 and rates[3] == 1000.0 and rates[4] == 1000.0
+    assert 10.0 < rates[1] < 1000.0 and 10.0 < rates[5] < 1000.0
+
+
+# ----------------------------------------------------------------------
+# Markov-modulated on/off
+# ----------------------------------------------------------------------
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_mmpp_long_run_rate_matches_duty_cycle(seed):
+    process = MarkovModulatedArrivals(
+        on_qps=40_000.0, mean_on_s=0.01, mean_off_s=0.03, off_qps=4_000.0
+    )
+    duration = 2.0  # ~50 on/off cycles: the duty cycle has averaged out
+    times = process.generate(0.0, duration, np.random.default_rng(seed))
+    assert_valid_arrivals(times, 0.0, duration)
+    expected = process.expected_count(duration)
+    # Sojourn-time randomness dominates Poisson noise; the relative sd of
+    # the count over k cycles scales like 1/sqrt(k), so 50% is >5 sigma.
+    assert abs(times.size - expected) < 0.5 * expected
+
+
+def test_mmpp_off_state_can_be_silent():
+    process = MarkovModulatedArrivals(
+        on_qps=50_000.0, mean_on_s=0.005, mean_off_s=0.005
+    )
+    times = process.generate(0.0, 1.0, np.random.default_rng(3))
+    # With off_qps=0 the arrivals cluster into bursts: large gaps exist.
+    assert np.diff(times).max() > 10.0 / 50_000.0
+
+
+# ----------------------------------------------------------------------
+# Key distributions
+# ----------------------------------------------------------------------
+def test_uniform_keys_match_generate_random_queries():
+    xs, ys = UniformKeys().sample(np.random.default_rng(42), 5_000, 777)
+    ex, ey = generate_random_queries(777, 5_000, seed=42)
+    assert np.array_equal(xs, ex) and np.array_equal(ys, ey)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n=st.integers(min_value=10, max_value=5_000),
+)
+def test_key_distributions_stay_in_range(seed, n):
+    rng = np.random.default_rng(seed)
+    for dist in (UniformKeys(), ZipfKeys(alpha=1.3), HotspotKeys()):
+        xs, ys = dist.sample(rng, 500, n)
+        for arr in (xs, ys):
+            assert arr.dtype == np.int64
+            assert arr.min() >= 0 and arr.max() < n
+
+
+def test_zipf_keys_are_rank_skewed():
+    xs, _ = ZipfKeys(alpha=1.2).sample(np.random.default_rng(0), 50_000, 1_000)
+    counts = np.bincount(xs, minlength=1_000)
+    # Popularity must decay with rank: top decile beats bottom decile by a lot.
+    assert counts[:100].sum() > 5 * counts[-100:].sum()
+    assert counts[0] > counts[100] > 0
+
+
+def test_hotspot_keys_concentrate_on_the_hot_set():
+    keys = HotspotKeys(hot_fraction=0.01, hot_weight=0.9)
+    xs, _ = keys.sample(np.random.default_rng(1), 50_000, 10_000)
+    hot_share = (xs < 100).mean()
+    # 90% targeted + ~1% of the uniform remainder lands in the hot set.
+    assert 0.88 < hot_share < 0.93
+
+
+# ----------------------------------------------------------------------
+# Scenario spec validation and library
+# ----------------------------------------------------------------------
+def test_scenario_library_builds_and_scales():
+    for name in SCENARIOS:
+        scenario = make_scenario(name, scale=0.5, seed=3)
+        assert scenario.name == name
+        assert scenario.seed == 3
+        assert scenario.expected_queries() > 0
+        full = make_scenario(name, scale=1.0, seed=3)
+        assert scenario.total_duration_s <= full.total_duration_s
+
+
+def test_make_scenario_rejects_unknowns():
+    with pytest.raises(ConfigurationError, match="unknown scenario"):
+        make_scenario("nope")
+    with pytest.raises(ConfigurationError, match="scale"):
+        make_scenario("steady", scale=0.0)
+
+
+def test_scenario_validation():
+    source = TrafficSource("t", nodes=16)
+    phase = Phase("p", DeterministicArrivals(10.0), 1.0)
+    with pytest.raises(ConfigurationError, match="at least one source"):
+        Scenario(name="s", sources=(), phases=(phase,))
+    with pytest.raises(ConfigurationError, match="at least one phase"):
+        Scenario(name="s", sources=(source,), phases=())
+    with pytest.raises(ConfigurationError, match="duplicate"):
+        Scenario(name="s", sources=(source, source), phases=(phase,))
+    with pytest.raises(ConfigurationError, match="duration"):
+        Phase("p", DeterministicArrivals(10.0), 0.0)
+    with pytest.raises(ConfigurationError, match="weights"):
+        TrafficSource("t", nodes=16, weight=0.0)

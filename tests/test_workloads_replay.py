@@ -1,0 +1,205 @@
+"""Replay-harness contracts: legacy equivalence, shedding, determinism.
+
+The two acceptance-grade properties live here:
+
+* a ``steady`` scenario replayed on a single-node service reproduces the
+  numbers the legacy hand-built uniform stream
+  (:func:`~repro.experiments.service_experiments.serve_query_stream`, the
+  row-maker of ``offered_load_sweep``) has always produced — bit for bit,
+  down to the full ``ServiceStats`` snapshot;
+* the ``flash-crowd`` scenario provably trips a bounded cluster's admission
+  control (``Overloaded`` shedding, confined to the flash phase) while
+  ``steady`` never sheds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.service_experiments import scenario_suite, serve_query_stream
+from repro.graphs.generators import random_attachment_tree
+from repro.graphs.trees import generate_random_queries
+from repro.service import BatchPolicy, ClusterService, LCAQueryService, make_router
+from repro.workloads import (
+    DeterministicArrivals,
+    Phase,
+    PoissonArrivals,
+    Scenario,
+    TrafficSource,
+    make_scenario,
+    replay,
+)
+
+POLICY = BatchPolicy(max_batch_size=256, max_wait_s=2e-4)
+
+
+def bounded_cluster(max_pending=8192, policy_name="least-outstanding"):
+    return ClusterService(
+        4, policy=POLICY, router=make_router(policy_name), max_pending=max_pending
+    )
+
+
+# ----------------------------------------------------------------------
+# Steady scenario == the legacy offered_load_sweep stream
+# ----------------------------------------------------------------------
+def test_steady_replay_reproduces_offered_load_sweep_numbers():
+    scenario = make_scenario("steady", scale=0.2, seed=0)
+    # Reconstruct the exact stream offered_load_sweep would build for the
+    # same tree / key seeds, rate and duration.
+    source = scenario.sources[0]
+    phase = scenario.phases[0]
+    rate = phase.arrivals.rate_qps
+    q = round(rate * phase.duration_s)
+    parents = random_attachment_tree(source.nodes, seed=source.tree_seed)
+    xs, ys = generate_random_queries(source.nodes, q, seed=source.key_seed)
+    arrivals = np.arange(q, dtype=np.float64) / rate
+
+    row = serve_query_stream(parents, xs, ys, arrivals, POLICY)
+    report = replay(LCAQueryService(policy=POLICY), scenario, warm=False)
+
+    assert report.queries_admitted == q == row["queries"]
+    assert row["throughput_qps"] == float(f"{report.stats.throughput_qps:.4g}")
+    assert row["latency_p50_us"] == round(report.stats.latency_p50_s * 1e6, 2)
+    assert row["latency_p99_us"] == round(report.stats.latency_p99_s * 1e6, 2)
+    assert row["batches"] == report.stats.batches_flushed
+    assert row["mean_batch"] == round(report.stats.mean_batch_size, 1)
+    assert row["cache_hit_rate"] == round(report.stats.cache_hit_rate, 3)
+
+
+def test_steady_replay_stats_bit_identical_to_manual_stream():
+    scenario = make_scenario("steady", scale=0.1, seed=0)
+    source = scenario.sources[0]
+    phase = scenario.phases[0]
+    q = round(phase.arrivals.rate_qps * phase.duration_s)
+    parents = random_attachment_tree(source.nodes, seed=source.tree_seed)
+    xs, ys = generate_random_queries(source.nodes, q, seed=source.key_seed)
+    arrivals = np.arange(q, dtype=np.float64) / phase.arrivals.rate_qps
+
+    manual = LCAQueryService(policy=POLICY)
+    manual.register_tree("steady", parents)
+    tickets = manual.submit_many("steady", xs, ys, at=arrivals)
+    manual.drain()
+
+    replayed = LCAQueryService(policy=POLICY)
+    report = replay(replayed, scenario, warm=False, check_answers=True)
+
+    # The full snapshot — counts, histograms, latencies, cache accounting —
+    # is equal, not merely close: the replay emitted the identical stream.
+    assert report.stats == manual.stats()
+    assert np.array_equal(replayed.latencies(np.arange(q)), manual.latencies(tickets))
+
+
+# ----------------------------------------------------------------------
+# Shedding: flash-crowd must shed on a bounded cluster, steady must not
+# ----------------------------------------------------------------------
+def test_flash_crowd_sheds_and_steady_does_not():
+    flash_report = replay(bounded_cluster(), make_scenario("flash-crowd", scale=0.25))
+    assert flash_report.queries_shed > 0
+    by_name = {p.name: p for p in flash_report.phases}
+    assert by_name["flash"].queries_shed > 0
+    assert by_name["flash"].shed_rate > 0.3
+    assert by_name["calm"].queries_shed == 0
+    assert by_name["recovery"].queries_shed == 0
+    # Admitted prefixes of partially shed blocks kept their tickets.
+    assert flash_report.queries_admitted + flash_report.queries_shed == (
+        flash_report.queries_offered
+    )
+    assert by_name["flash"].queries_admitted > 0
+
+    steady_report = replay(bounded_cluster(), make_scenario("steady", scale=0.25))
+    assert steady_report.queries_shed == 0
+    assert steady_report.queries_admitted == steady_report.queries_offered
+
+
+def test_unbounded_cluster_never_sheds_the_flash():
+    cluster = ClusterService(4, policy=POLICY, router=make_router("round-robin"))
+    report = replay(cluster, make_scenario("flash-crowd", scale=0.25))
+    assert report.queries_shed == 0
+
+
+# ----------------------------------------------------------------------
+# Determinism and multi-source replay
+# ----------------------------------------------------------------------
+def test_replay_is_deterministic():
+    scenario = make_scenario("multi-tenant", scale=0.25, seed=5)
+    first = replay(bounded_cluster(), scenario)
+    second = replay(bounded_cluster(), scenario)
+    assert first.phases == second.phases
+    assert first.queries_offered == second.queries_offered
+    assert first.throughput_qps == second.throughput_qps
+    assert first.latency_p99_s == second.latency_p99_s
+    assert first.load_imbalance == second.load_imbalance
+
+
+def test_multi_source_replay_on_single_service_verifies_answers():
+    scenario = Scenario(
+        name="two-tenants",
+        sources=(
+            TrafficSource("a", nodes=2_048, weight=0.7, tree_seed=1),
+            TrafficSource("b", nodes=512, weight=0.3, tree_seed=2),
+        ),
+        phases=(Phase("p", PoissonArrivals(80_000.0), 0.05),),
+        seed=9,
+        mix_stride=16,
+    )
+    service = LCAQueryService(policy=POLICY)
+    report = replay(service, scenario, check_answers=True)
+    assert report.target_kind == "service"
+    assert report.queries_shed == 0
+    assert report.queries_admitted == report.queries_offered > 0
+    # Both datasets actually saw traffic.
+    assert set(service.datasets) == {"a", "b"}
+    assert service.stats().queries_answered == report.queries_admitted
+
+
+def test_replay_respects_preregistered_trees():
+    parents = np.array([-1, 0, 0, 1, 1], dtype=np.int64)
+    service = LCAQueryService(policy=POLICY)
+    service.register_tree("tiny", parents)
+    scenario = Scenario(
+        name="prewired",
+        sources=(TrafficSource("tiny", nodes=99),),  # nodes ignored: registered
+        phases=(Phase("p", DeterministicArrivals(10_000.0), 0.02),),
+    )
+    report = replay(service, scenario, check_answers=True)
+    assert report.queries_admitted == 200
+    # Keys were sampled from the registered 5-node tree, not `nodes=99`.
+    assert service.stats().queries_answered == 200
+
+
+def test_replay_rejects_bad_window():
+    with pytest.raises(ValueError, match="admission_window_s"):
+        replay(
+            LCAQueryService(),
+            make_scenario("steady", scale=0.1),
+            admission_window_s=0.0,
+        )
+
+
+# ----------------------------------------------------------------------
+# The scenario_suite experiment
+# ----------------------------------------------------------------------
+def test_scenario_suite_rows_have_the_report_columns():
+    rows = scenario_suite(
+        ["steady", "flash-crowd"],
+        policies=("least-outstanding",),
+        scale=0.25,
+        check_answers=True,
+    )
+    assert [r["scenario"] for r in rows] == ["steady", "flash-crowd"]
+    for row in rows:
+        for key in (
+            "policy",
+            "offered",
+            "admitted",
+            "shed_rate",
+            "peak_phase_shed_rate",
+            "throughput_qps",
+            "latency_p50_us",
+            "latency_p99_us",
+            "load_imbalance",
+        ):
+            assert key in row
+    steady_row, flash_row = rows
+    assert steady_row["shed_rate"] == 0.0
+    assert flash_row["shed_rate"] > 0.0
+    assert flash_row["peak_phase_shed_rate"] >= flash_row["shed_rate"]
