@@ -75,6 +75,7 @@ from .euler import EulerTour, TreeStats, build_euler_tour, compute_tree_stats
 from .graphs import CSRGraph, EdgeList
 from .lca import InlabelLCA, NaiveGPULCA, RMQLCA, SequentialInlabelLCA
 from .service import (
+    AnswerCache,
     BatchPolicy,
     ClusterService,
     ClusterStats,
@@ -87,7 +88,7 @@ from .service import (
 )
 from .workloads import Scenario, ScenarioReport, make_scenario, replay
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -130,6 +131,7 @@ __all__ = [
     "BatchPolicy",
     "CostModelDispatcher",
     "ServiceStats",
+    "AnswerCache",
     # cluster serving
     "ClusterService",
     "ClusterStats",

@@ -249,6 +249,8 @@ def scenario_suite(
     scale: float = 1.0,
     seed: int = 0,
     check_answers: bool = False,
+    dedup: bool = False,
+    answer_cache_bytes: Optional[int] = None,
 ) -> List[Dict[str, object]]:
     """Sweep named scenarios × routing policies on a bounded replica cluster.
 
@@ -278,6 +280,8 @@ def scenario_suite(
                 policy=policy,
                 router=make_router(policy_name),
                 max_pending=max_pending,
+                dedup=dedup,
+                answer_cache_bytes=answer_cache_bytes,
             )
             report = replay(
                 cluster,
@@ -299,6 +303,8 @@ def scenario_suite(
                 "latency_p50_us": round(report.latency_p50_s * 1e6, 2),
                 "latency_p99_us": round(report.latency_p99_s * 1e6, 2),
                 "load_imbalance": round(report.load_imbalance, 3),
+                "answer_cache_hit_rate": round(report.answer_cache_hit_rate, 4),
+                "dedup_factor": round(report.dedup_factor, 3),
             })
     return rows
 

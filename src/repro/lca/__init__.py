@@ -7,9 +7,18 @@
 * :class:`RMQLCA` — the RMQ-based baseline of the §3.1 preliminary experiment.
 * :class:`BinaryLiftingLCA`, :func:`brute_force_lca_batch` — test oracles.
 * :func:`run_batched_queries` — online batched querying (Figure 6).
+* :func:`pack_query_pairs` / :func:`dedup_query_pairs` — canonicalization
+  and intra-batch dedup for symmetric pair queries (the serving stack's
+  skew-aware fast path builds on these).
 """
 
 from .batch import BatchQueryResult, run_batched_queries
+from .dedup import (
+    PACK_LIMIT,
+    dedup_query_pairs,
+    pack_query_pairs,
+    unpack_query_pairs,
+)
 from .inlabel import (
     INLABEL_QUERY_COST,
     InlabelLCA,
@@ -36,4 +45,8 @@ __all__ = [
     "brute_force_lca_batch",
     "BatchQueryResult",
     "run_batched_queries",
+    "PACK_LIMIT",
+    "pack_query_pairs",
+    "unpack_query_pairs",
+    "dedup_query_pairs",
 ]

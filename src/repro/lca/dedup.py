@@ -1,0 +1,114 @@
+"""Canonicalization and intra-batch dedup for symmetric pair queries.
+
+LCA is symmetric — ``lca(x, y) == lca(y, x)`` — so a batch of queries over
+node pairs can be *canonicalized* (each pair sorted to ``x <= y``) and then
+*deduplicated*: under skewed traffic the same hot pairs recur thousands of
+times per batch, and running the query kernel once per **unique** pair with a
+scatter back to the original positions does strictly less work for identical
+answers.
+
+Everything here is a handful of vectorized passes:
+
+* :func:`pack_query_pairs` sorts each pair and packs it into one ``uint64``
+  key (``min << 32 | max``) — a canonical, totally ordered, hashable
+  identity for the pair.  Node ids must fit 32 bits; :data:`PACK_LIMIT` is
+  the largest tree size the packing supports, and callers serve larger trees
+  through the plain path.
+* :func:`unpack_query_pairs` inverts the packing (always into the canonical
+  ``x <= y`` orientation).
+* :func:`dedup_query_pairs` composes packing with ``np.unique`` and returns
+  the unique canonical pairs plus the inverse map that scatters per-unique
+  answers back onto the original batch positions.
+
+The serving layer (:mod:`repro.service`) builds its skew-aware fast path on
+these kernels: the packed key doubles as the lookup key of the vectorized
+answer cache, and the dispatcher prices the *unique* count instead of the raw
+batch size.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import InvalidQueryError
+
+__all__ = [
+    "PACK_LIMIT",
+    "pack_query_pairs",
+    "unpack_query_pairs",
+    "dedup_query_pairs",
+]
+
+#: Largest tree size (node-id bound) the uint64 pair packing supports: ids
+#: must fit in 32 bits each.
+PACK_LIMIT = 1 << 32
+
+_LOW32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+
+
+def pack_query_pairs(xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+    """Canonical ``uint64`` key per pair: ``min(x, y) << 32 | max(x, y)``.
+
+    The caller guarantees ``0 <= xs, ys < PACK_LIMIT`` (the serving layer
+    validates node ids against the tree size long before this point).
+
+    >>> pack_query_pairs(np.array([3, 1]), np.array([1, 3])).tolist()
+    [4294967299, 4294967299]
+    """
+    xs = np.asarray(xs, dtype=np.int64)
+    ys = np.asarray(ys, dtype=np.int64)
+    # minimum/maximum allocate fresh non-negative int64 arrays, so the
+    # uint64 reinterpretation is a zero-copy view, not a cast pass.
+    lo = np.minimum(xs, ys).view(np.uint64)
+    hi = np.maximum(xs, ys).view(np.uint64)
+    return (lo << _SHIFT32) | hi
+
+
+def unpack_query_pairs(keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Invert :func:`pack_query_pairs` into canonical ``(x, y)`` with ``x <= y``.
+
+    >>> xs, ys = unpack_query_pairs(np.array([4294967299], dtype=np.uint64))
+    >>> (xs.tolist(), ys.tolist())
+    ([1], [3])
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    xs = (keys >> _SHIFT32).astype(np.int64)
+    ys = (keys & _LOW32).astype(np.int64)
+    return xs, ys
+
+
+def dedup_query_pairs(
+    xs: np.ndarray, ys: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unique canonical pairs of a batch, with the scatter-back map.
+
+    Returns ``(ux, uy, inverse)`` such that ``ux[i] <= uy[i]``, the unique
+    pairs are sorted by packed key, and for any symmetric per-pair function
+    ``f`` (like LCA), ``f(ux, uy)[inverse]`` equals ``f(xs, ys)``
+    elementwise.
+
+    Unlike :func:`pack_query_pairs` (whose callers have already validated
+    node ids against the tree size) this standalone entry point checks the
+    packing precondition itself.
+
+    >>> ux, uy, inv = dedup_query_pairs(np.array([5, 2, 5]),
+    ...                                 np.array([2, 5, 7]))
+    >>> (ux.tolist(), uy.tolist(), inv.tolist())
+    ([2, 5], [5, 7], [0, 0, 1])
+    """
+    xs = np.asarray(xs, dtype=np.int64)
+    ys = np.asarray(ys, dtype=np.int64)
+    if xs.size and not (
+        0 <= min(int(xs.min()), int(ys.min()))
+        and max(int(xs.max()), int(ys.max())) < PACK_LIMIT
+    ):
+        raise InvalidQueryError(
+            f"node ids must be in [0, {PACK_LIMIT}) for uint64 pair packing"
+        )
+    keys = pack_query_pairs(xs, ys)
+    unique_keys, inverse = np.unique(keys, return_inverse=True)
+    ux, uy = unpack_query_pairs(unique_keys)
+    return ux, uy, inverse.astype(np.int64, copy=False).reshape(-1)

@@ -17,6 +17,12 @@ bulk; this subpackage turns that observation into a serving architecture:
 * :class:`~repro.service.dispatch.CostModelDispatcher` — prices every batch
   on each candidate :class:`~repro.service.dispatch.Backend` with the device
   roofline model and picks the cheapest (CPU for singletons, GPU for bulk);
+  under the skew-aware path it prices the batch's *unique cache-miss* count,
+  so key skew moves the CPU/GPU crossover;
+* :class:`~repro.service.cache.AnswerCache` — the skew-aware fast path's
+  exact, bounded, vectorized per-pair answer cache (off by default; enabled
+  with ``answer_cache_bytes=``), with intra-batch dedup provided by
+  :mod:`repro.lca.dedup`'s canonical uint64 pair packing;
 * :class:`~repro.service.stats.ServiceStats` — throughput, p50/p99 modeled
   latency, batch-size histogram, flush-trigger and cache accounting;
 * :class:`~repro.service.service.LCAQueryService` — the façade wiring all of
@@ -34,6 +40,11 @@ bulk; this subpackage turns that observation into a serving architecture:
 """
 
 from ..errors import Overloaded
+from .cache import (
+    ANSWER_CACHE_PROBE_COST,
+    AnswerCache,
+    answer_cache_probe_time,
+)
 from .clock import SimulatedClock
 from .cluster import ClusterService, ClusterStats
 from .dispatch import (
@@ -88,6 +99,10 @@ __all__ = [
     "StatsCollector",
     "batch_size_bucket",
     "LCAQueryService",
+    # skew-aware fast path
+    "AnswerCache",
+    "ANSWER_CACHE_PROBE_COST",
+    "answer_cache_probe_time",
     # cluster serving
     "ClusterService",
     "ClusterStats",

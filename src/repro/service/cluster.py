@@ -59,12 +59,13 @@ from numpy.typing import ArrayLike
 
 from ..errors import InvalidQueryError, Overloaded, ServiceError
 from ..graphs.trees import validate_parents
+from .cache import MIN_CACHE_BYTES
 from .clock import SimulatedClock
 from .dispatch import CostModelDispatcher
 from .routing import HashRing, LeastOutstandingRouter, Router
 from .scheduler import BatchPolicy
 from .service import LCAQueryService, block_clean_prefix
-from .stats import ServiceStats, grow_table
+from .stats import ServiceStats, dedup_factor, grow_table, hit_rate
 
 __all__ = ["ClusterService", "ClusterStats"]
 
@@ -132,6 +133,14 @@ class ClusterStats:
     cache_hits: int
     cache_misses: int
     cache_hit_rate: float
+    #: Answer-cache accounting summed over the replicas' per-replica caches
+    #: (all zero when the skew-aware path is disabled).
+    answer_cache_hits: int
+    answer_cache_misses: int
+    answer_cache_hit_rate: float
+    #: Answered queries per kernel-executed query, cluster-wide (1.0 with the
+    #: skew-aware path off; ``inf`` when every answer came from a cache).
+    dedup_factor: float
     #: Answered-query count per replica, and max/mean of that distribution
     #: (1.0 = perfectly balanced; idle replicas inflate it; 0.0 before any
     #: answer).
@@ -165,6 +174,10 @@ class ClusterStats:
             f"backend busy time  : {self.busy_time_s * 1e3:.3f} ms modeled",
             f"index caches       : {self.cache_hits} hits / "
             f"{self.cache_misses} misses ({self.cache_hit_rate:.1%})",
+            f"answer caches      : {self.answer_cache_hits} hits / "
+            f"{self.answer_cache_misses} misses "
+            f"({self.answer_cache_hit_rate:.1%}), "
+            f"dedup factor {self.dedup_factor:.2f}x",
             f"per-replica load   : [{answered}] "
             f"(imbalance {self.load_imbalance:.2f}x)",
         ]
@@ -188,8 +201,17 @@ class ClusterService:
         Zero-argument callable building each worker's dispatcher (called
         once per replica so workers never share memoization state).
     capacity_bytes:
-        Cluster-wide index-cache budget, split evenly across the workers'
-        registries.  ``None`` means unbounded.
+        Cluster-wide cache byte budget, split evenly across the workers'
+        registries.  ``None`` means unbounded.  When ``answer_cache_bytes``
+        is also set, the answer caches' bytes come out of this budget: the
+        index registries split what remains.
+    dedup:
+        Enable the skew-aware canonicalization + intra-batch dedup path on
+        every worker (see :class:`LCAQueryService`).
+    answer_cache_bytes:
+        Cluster-wide answer-cache budget, split evenly into one
+        :class:`~repro.service.cache.AnswerCache` per replica worker
+        (implies ``dedup``).  ``None`` (the default) disables the caches.
     max_pending:
         Cluster-wide bound on queued queries.  Submissions that would
         exceed it raise :class:`~repro.errors.Overloaded` and are counted
@@ -221,6 +243,8 @@ class ClusterService:
         capacity_bytes: Optional[int] = None,
         max_pending: Optional[int] = None,
         start_time: float = 0.0,
+        dedup: bool = False,
+        answer_cache_bytes: Optional[int] = None,
     ) -> None:
         n_replicas = int(n_replicas)
         if n_replicas < 1:
@@ -232,16 +256,40 @@ class ClusterService:
         self.clock = SimulatedClock(start_time)
         self._max_pending = None if max_pending is None else int(max_pending)
         factory = dispatcher_factory or CostModelDispatcher
-        if capacity_bytes is None:
+        index_budget = None if capacity_bytes is None else int(capacity_bytes)
+        if answer_cache_bytes is None:
+            cache_slice = None
+        else:
+            answer_cache_bytes = int(answer_cache_bytes)
+            if answer_cache_bytes < n_replicas * MIN_CACHE_BYTES:
+                raise ServiceError(
+                    f"answer_cache_bytes={answer_cache_bytes} is too small "
+                    f"to give each of {n_replicas} replicas the "
+                    f"{MIN_CACHE_BYTES}-byte cache minimum"
+                )
+            if index_budget is not None:
+                # The answer caches are carved out of the cluster-wide byte
+                # budget; the index registries split what remains.
+                index_budget -= answer_cache_bytes
+                if index_budget <= 0:
+                    raise ServiceError(
+                        f"answer_cache_bytes={answer_cache_bytes} consumes "
+                        f"the whole capacity_bytes={capacity_bytes} budget; "
+                        f"nothing is left for the index caches"
+                    )
+            cache_slice = answer_cache_bytes // n_replicas
+        if index_budget is None:
             slice_bytes = None
         else:
-            slice_bytes = max(1, int(capacity_bytes) // n_replicas)
+            slice_bytes = max(1, index_budget // n_replicas)
         self._replicas: Tuple[LCAQueryService, ...] = tuple(
             LCAQueryService(
                 policy=policy,
                 dispatcher=factory(),
                 capacity_bytes=slice_bytes,
                 clock=SimulatedClock(start_time),
+                dedup=dedup,
+                answer_cache_bytes=cache_slice,
             )
             for _ in range(n_replicas)
         )
@@ -752,6 +800,9 @@ class ClusterService:
         hits = sum(s.cache_hits for s in per)
         misses = sum(s.cache_misses for s in per)
         lookups = hits + misses
+        answer_hits = sum(s.answer_cache_hits for s in per)
+        answer_misses = sum(s.answer_cache_misses for s in per)
+        kernel_queries = sum(s.kernel_queries for s in per)
         return ClusterStats(
             n_replicas=self.n_replicas,
             router_policy=self.router.name,
@@ -770,6 +821,10 @@ class ClusterService:
             cache_hits=hits,
             cache_misses=misses,
             cache_hit_rate=hits / lookups if lookups else 0.0,
+            answer_cache_hits=answer_hits,
+            answer_cache_misses=answer_misses,
+            answer_cache_hit_rate=hit_rate(answer_hits, answer_misses),
+            dedup_factor=dedup_factor(sum(answered), kernel_queries),
             per_replica_answered=answered,
             load_imbalance=imbalance,
             replicas=per,

@@ -29,6 +29,15 @@ operations), and :meth:`LCAQueryService.submit_many` admits a whole arrival
 block through :meth:`MicroBatchScheduler.submit_block` instead of looping
 over Python objects — the host cost of forming a batch no longer dwarfs the
 modeled kernel cost being scheduled.
+
+An opt-in *skew-aware fast path* (``dedup=True`` / ``answer_cache_bytes=``)
+exploits repetition: pairs are canonicalized (LCA is symmetric) and packed
+into uint64 keys, blocks are probed against a bounded exact
+:class:`~repro.service.cache.AnswerCache` at the front door (hits are
+answered at arrival, without queueing for a batch), and batches run the
+kernel on their *unique cache misses* only — which is also the count the
+dispatcher prices, so key skew moves the CPU/GPU crossover.  Answers are
+bit-identical with the fast path on or off.
 """
 
 from __future__ import annotations
@@ -41,6 +50,8 @@ from numpy.typing import ArrayLike
 from ..device import ExecutionContext
 from ..errors import InvalidQueryError, ServiceError
 from ..graphs.trees import query_bounds_mask
+from ..lca.dedup import PACK_LIMIT, pack_query_pairs, unpack_query_pairs
+from .cache import AnswerCache, answer_cache_probe_time
 from .clock import SimulatedClock
 from .dispatch import Backend, CostModelDispatcher
 from .registry import ArtifactKey, ForestStore, IndexRegistry
@@ -51,6 +62,10 @@ __all__ = ["LCAQueryService"]
 
 #: Initial ticket-table capacity (grows by doubling).
 _MIN_TICKET_TABLE = 1024
+
+#: Backend-lane key full-cache-hit batches are booked under (they occupy the
+#: host-side cache lane, not a compute backend).
+CACHE_BACKEND_KEY = "cache"
 
 
 def block_clean_prefix(
@@ -112,6 +127,24 @@ class LCAQueryService:
         Optional index-cache capacity (see :class:`IndexRegistry`).
     clock:
         Simulated time source shared by all schedulers.
+    dedup:
+        Enable the skew-aware canonicalization path: each batch's pairs are
+        sorted to ``x <= y``, packed into uint64 keys and deduplicated, the
+        kernel runs on the *unique* pairs only (the dispatcher prices that
+        unique count, so the CPU/GPU crossover shifts under skew) and the
+        answers are scattered back.  Answers are bit-identical either way
+        (LCA is symmetric); off by default.
+    answer_cache_bytes:
+        Enable the answer cache with this byte budget (implies ``dedup``):
+        a bounded, exact, vectorized hash table
+        (:class:`~repro.service.cache.AnswerCache`) consulted and populated
+        per batch, so pairs repeated *across* batches cost one probe instead
+        of a kernel run.  ``None`` (the default) disables it.
+    answer_cache_seed:
+        Salt seed for the answer cache's slot hash.
+    ticket_capacity:
+        Optional pre-sizing of the ticket-indexed result tables (capacity
+        planning for long streams; growth stays amortized O(1) without it).
 
     Usage
     -----
@@ -130,8 +163,20 @@ class LCAQueryService:
                  policy: Optional[BatchPolicy] = None,
                  dispatcher: Optional[CostModelDispatcher] = None,
                  capacity_bytes: Optional[int] = None,
-                 clock: Optional[SimulatedClock] = None) -> None:
+                 clock: Optional[SimulatedClock] = None,
+                 dedup: bool = False,
+                 answer_cache_bytes: Optional[int] = None,
+                 answer_cache_seed: int = 0,
+                 ticket_capacity: Optional[int] = None) -> None:
         self.clock = clock or SimulatedClock()
+        self.answer_cache: Optional[AnswerCache] = (
+            AnswerCache(int(answer_cache_bytes), seed=answer_cache_seed)
+            if answer_cache_bytes is not None else None
+        )
+        self._dedup = bool(dedup) or self.answer_cache is not None
+        # Whether each dataset's node ids fit the uint64 pair packing
+        # (memoized on first serve; oversized trees use the plain path).
+        self._packable: Dict[str, bool] = {}
         self.store = store or ForestStore()
         self.registry = IndexRegistry(self.store, capacity_bytes=capacity_bytes)
         self.policy = policy or BatchPolicy()
@@ -143,9 +188,16 @@ class LCAQueryService:
         # Ticket-indexed columnar result tables: tickets are consecutive
         # integers, so answers/latencies live in flat arrays and a batch of
         # results is stored (and read back) with one fancy-indexing op.
-        self._answers = np.empty(_MIN_TICKET_TABLE, dtype=np.int64)
-        self._latencies = np.empty(_MIN_TICKET_TABLE, dtype=np.float64)
-        self._answered = np.zeros(_MIN_TICKET_TABLE, dtype=bool)
+        # ``ticket_capacity`` pre-sizes them (capacity planning for long
+        # streams — growth stays amortized O(1) either way, but reserving
+        # keeps the doubling copies out of the serving windows).
+        table = max(_MIN_TICKET_TABLE,
+                    0 if ticket_capacity is None else int(ticket_capacity))
+        self._answers = np.empty(table, dtype=np.int64)
+        self._latencies = np.empty(table, dtype=np.float64)
+        self._answered = np.zeros(table, dtype=bool)
+        if ticket_capacity is not None:
+            self.stats_collector.reserve(int(ticket_capacity))
         # Memoized (dataset, backend) -> ArtifactKey for the registry's keyed
         # fast path; rebuilt lazily, invalidation-free (keys are pure values).
         self._artifact_keys: Dict[Tuple[str, str], ArtifactKey] = {}
@@ -263,14 +315,18 @@ class LCAQueryService:
                     at: Optional[np.ndarray] = None) -> np.ndarray:
         """Submit a column block of single queries; returns their tickets.
 
-        Observationally equivalent to calling :meth:`submit` once per query —
-        each query is still an individual arrival seen by the scheduler, *not*
-        a pre-formed batch — but admission is columnar: the block is validated
+        With the skew-aware path off (the default), observationally
+        equivalent to calling :meth:`submit` once per query — each query is
+        still an individual arrival seen by the scheduler, *not* a
+        pre-formed batch — but admission is columnar: the block is validated
         with vectorized comparisons, cut into flush-sized chunks by
         :meth:`MicroBatchScheduler.submit_block`, and every resulting batch is
         served in the same global flush-time order the per-query path
         produces.  ``at`` optionally gives each query its own (non-decreasing)
-        arrival timestamp.
+        arrival timestamp.  With the answer cache on the two admission styles
+        diverge observably (answers stay exact): only the columnar path takes
+        the front-door memoization, so its cache hits are answered at arrival
+        instead of at batch flush (see :meth:`_admit_memoized`).
 
         Error semantics match the per-query loop exactly: an out-of-range
         query or a backwards arrival raises at its own position, after every
@@ -313,10 +369,18 @@ class LCAQueryService:
             self._next_ticket += stop
             self._ensure_ticket_capacity(self._next_ticket)
             self.stats_collector.record_submit(stop)
-            own = scheduler.submit_block(tickets, xs[:stop], ys[:stop],
+            handled = (
+                self.answer_cache is not None
+                and self._is_packable(dataset)
+                and self._admit_memoized(dataset, scheduler, tickets,
+                                         xs[:stop], ys[:stop],
                                          arrivals[:stop])
-            self._serve_in_submission_order(dataset, own, arrivals[:stop],
-                                            int(tickets[0]))
+            )
+            if not handled:
+                own = scheduler.submit_block(tickets, xs[:stop], ys[:stop],
+                                             arrivals[:stop])
+                self._serve_in_submission_order(dataset, own, arrivals[:stop],
+                                                int(tickets[0]))
         if error is not None:
             raise error
         return tickets
@@ -481,8 +545,19 @@ class LCAQueryService:
         True
         """
         idx = np.atleast_1d(np.asarray(tickets)).astype(np.int64, copy=False)
-        self.results(idx)  # same validation as results()
-        return self._latencies[idx] if idx.size else np.empty(0, dtype=np.float64)
+        if idx.size == 0:
+            return np.empty(0, dtype=np.float64)
+        # Same validation as results(), without gathering the answers.
+        unknown = (idx < 0) | (idx >= self._next_ticket)
+        if unknown.any():
+            raise ServiceError(f"unknown ticket {idx[int(unknown.argmax())]}")
+        queued = ~self._answered[idx]
+        if queued.any():
+            raise ServiceError(
+                f"ticket {idx[int(queued.argmax())]} is still queued; "
+                f"advance time or drain()"
+            )
+        return self._latencies[idx]
 
     def pending_count(self, dataset: Optional[str] = None) -> int:
         """Queries currently queued (for one dataset, or in total).
@@ -508,7 +583,8 @@ class LCAQueryService:
         >>> svc.stats().queries_answered
         2
         """
-        return self.stats_collector.snapshot(registry=self.registry)
+        return self.stats_collector.snapshot(registry=self.registry,
+                                             answer_cache=self.answer_cache)
 
     # ------------------------------------------------------------------
     # Internals
@@ -603,7 +679,109 @@ class LCAQueryService:
         for _, _, _, _, name, batch in merged:
             self._serve(name, batch)
 
+    def _is_packable(self, dataset: str) -> bool:
+        ok = self._packable.get(dataset)
+        if ok is None:
+            ok = int(self.store.tree(dataset).size) <= PACK_LIMIT
+            self._packable[dataset] = ok
+        return ok
+
+    def _admit_memoized(self, dataset: str, scheduler: MicroBatchScheduler,
+                        tickets: np.ndarray, xs: np.ndarray, ys: np.ndarray,
+                        arrivals: np.ndarray) -> bool:
+        """Front-door memoization for the columnar path.
+
+        With the answer cache on, a block is probed *at admission*: queries
+        whose canonical pair is already cached are answered immediately on
+        the host-side cache lane — they never enter the batching pipeline,
+        which is both the standard serving architecture (memoize before you
+        queue) and the realistic latency model (a memoized answer does not
+        wait for a batch to form).  Only the cache misses are handed to the
+        micro-batch scheduler; their batches probe again at serve time (a
+        sibling batch may have filled the cache in between) and repopulate
+        it.  Returns False when nothing hit — the caller then admits the
+        whole block through the standard path unchanged.
+
+        Cache-off behaviour is untouched, and answers are bit-identical
+        either way; what changes with the cache on is *when* repeated
+        queries are answered (at arrival) and that only unique misses reach
+        the kernel.
+        """
+        cache = self.answer_cache
+        assert cache is not None
+        # Batches whose wait deadline expired before this block's first
+        # arrival flush earlier on the simulated timeline, so they serve —
+        # and populate the cache — before the block is probed (deadlines
+        # falling *inside* the block's arrival span are served after the
+        # probe, an acknowledged approximation of the per-arrival
+        # interleaving; answers are exact either way).
+        for name, batch in self._expired_batches(float(arrivals[0]),
+                                                 exclusive=dataset):
+            self._serve(name, batch)
+        keys = pack_query_pairs(xs, ys)
+        space = self._dataset_rank[dataset]
+        values, found, hits = cache.lookup(space, keys)
+        if hits == 0:
+            return False
+        t_last = float(arrivals[-1])
+        full = hits == int(tickets.size)
+        # The hits are answered straight from the cache: the bulk probe
+        # occupies the serially-booked host-side cache lane (starting once
+        # both the block has arrived and the lane is free), and a memoized
+        # answer's modeled latency is one per-query probe plus any lane
+        # queueing — never a batching wait.  Tickets are a contiguous
+        # range, so the whole block is stored with slice assignments
+        # *before* any miss batch serves — miss rows carry unanswered
+        # placeholders (``found`` is exactly the answered mask) that their
+        # batches overwrite when they serve.
+        probe_time = answer_cache_probe_time(int(tickets.size))
+        probe_one = answer_cache_probe_time(1)
+        start = max(t_last, self._backend_free_s.get(CACHE_BACKEND_KEY, 0.0))
+        completion = start + probe_time
+        self._backend_free_s[CACHE_BACKEND_KEY] = completion
+        hit_latency = (start - t_last) + probe_one
+        lo, hi = int(tickets[0]), int(tickets[-1]) + 1
+        self._answers[lo:hi] = values
+        self._latencies[lo:hi] = hit_latency
+        if full:
+            self._answered[lo:hi] = True
+            own: List[FlushedBatch] = []
+        else:
+            self._answered[lo:hi] = found
+            miss_pos = np.flatnonzero(~found)
+            own = scheduler.submit_block(tickets[miss_pos], xs[miss_pos],
+                                         ys[miss_pos], arrivals[miss_pos])
+        self.stats_collector.record_batch(
+            size=hits,
+            trigger="hit",
+            backend_key=CACHE_BACKEND_KEY,
+            service_time_s=probe_time,
+            latencies_s=np.full(hits, hit_latency),
+            first_arrival_s=float(arrivals[0]),
+            completion_s=completion,
+            kernel_queries=0,
+        )
+        # The block's arrivals moved time to its last timestamp: fire every
+        # wait deadline that expired on the way (this dataset's pending
+        # misses and other datasets alike) and serve everything in
+        # flush-time order.  As on every submit path, this dataset's
+        # deadlines exactly at the arrival instant stay pending so a
+        # same-instant follow-up submission can still join them.
+        own_rank = self._dataset_rank[dataset]
+        collected = [(batch.flush_s, own_rank, dataset, batch)
+                     for batch in own]
+        for name, batch in self._expired_batches(t_last, exclusive=dataset):
+            collected.append((batch.flush_s, self._dataset_rank[name], name,
+                              batch))
+        collected.sort(key=lambda item: item[:2])
+        for _, _, name, batch in collected:
+            self._serve(name, batch)
+        return True
+
     def _serve(self, dataset: str, batch: FlushedBatch) -> None:
+        if self._dedup and self._is_packable(dataset):
+            self._serve_deduped(dataset, batch)
+            return
         backend = self.dispatcher.choose(batch.size)
         entry, hit = self.registry.fetch_by_key(
             self._artifact_key(dataset, backend), spec=backend.spec)
@@ -611,25 +789,99 @@ class LCAQueryService:
         ctx = ExecutionContext(backend.spec)
         answers = entry.artifact.query(batch.xs, batch.ys, ctx=ctx)
         service_time += ctx.elapsed
-        # The batch starts once both it is flushed and the device is free;
+        self._finish_batch(batch, answers, service_time, backend.key,
+                           batch.size)
+
+    def _serve_deduped(self, dataset: str, batch: FlushedBatch) -> None:
+        """The skew-aware fast path: canonicalize, dedup, probe, kernel misses.
+
+        Every batch pays a small modeled host-side probe charge
+        (:func:`~repro.service.cache.answer_cache_probe_time`, covering
+        canonicalization + table probe); the kernel then runs only on the
+        *unique miss* pairs, priced by the dispatcher at that unique count —
+        which is how key skew moves the CPU/GPU crossover.  A batch answered
+        entirely from the cache never touches a compute backend: it is booked
+        on the host-side ``"cache"`` lane.
+        """
+        cache = self.answer_cache
+        keys = pack_query_pairs(batch.xs, batch.ys)
+        service_time = answer_cache_probe_time(batch.size)
+        if cache is not None:
+            space = self._dataset_rank[dataset]
+            answers, found, hits = cache.lookup(space, keys)
+            if hits == batch.size:
+                self._finish_batch(batch, answers, service_time,
+                                   CACHE_BACKEND_KEY, 0)
+                return
+            miss = np.flatnonzero(~found)
+            miss_keys = keys[miss]
+        else:
+            miss = None
+            miss_keys = keys
+        kernel_queries = 0
+        if miss_keys.size:
+            unique_keys, inverse = np.unique(miss_keys, return_inverse=True)
+            ux, uy = unpack_query_pairs(unique_keys)
+            kernel_queries = int(unique_keys.size)
+            backend = self.dispatcher.choose(kernel_queries)
+            entry, hit = self.registry.fetch_by_key(
+                self._artifact_key(dataset, backend), spec=backend.spec)
+            if not hit:
+                service_time += entry.build_time_s
+            ctx = ExecutionContext(backend.spec)
+            unique_answers = entry.artifact.query(ux, uy, ctx=ctx)
+            service_time += ctx.elapsed
+            if cache is not None:
+                cache.insert(space, unique_keys, unique_answers)
+                answers[miss] = unique_answers[inverse]
+            else:
+                answers = unique_answers[inverse]
+            lane = backend.key
+        else:
+            lane = CACHE_BACKEND_KEY
+        self._finish_batch(batch, answers, service_time, lane, kernel_queries)
+
+    def _store_results(self, idx: np.ndarray, answers: np.ndarray,
+                       latencies: np.ndarray) -> None:
+        """Write one served group into the ticket-indexed result tables.
+
+        Tickets within a group are ascending; single-dataset streams issue
+        consecutive ones, so the common case is a contiguous table window
+        stored with slice assignments (bulk copies) instead of fancy-index
+        scatters.
+        """
+        lo, hi = int(idx[0]), int(idx[-1]) + 1
+        if hi - lo == idx.size:
+            self._answers[lo:hi] = answers
+            self._latencies[lo:hi] = latencies
+            self._answered[lo:hi] = True
+        else:
+            self._answers[idx] = answers
+            self._latencies[idx] = latencies
+            self._answered[idx] = True
+
+    def _finish_batch(self, batch: FlushedBatch, answers: np.ndarray,
+                      service_time: float, backend_key: str,
+                      kernel_queries: int) -> None:
+        # The batch starts once both it is flushed and its lane is free;
         # this serializes batches per backend so overload manifests as
         # queueing delay, not as impossible overlapping service times.
-        start = max(batch.flush_s, self._backend_free_s.get(backend.key, 0.0))
+        start = max(batch.flush_s, self._backend_free_s.get(backend_key, 0.0))
         completion = start + service_time
-        self._backend_free_s[backend.key] = completion
+        self._backend_free_s[backend_key] = completion
         latencies = completion - batch.arrival_s
-        idx = batch.tickets
-        self._answers[idx] = answers
-        self._latencies[idx] = latencies
-        self._answered[idx] = True
+        self._store_results(batch.tickets, answers, latencies)
         self.stats_collector.record_batch(
             size=batch.size,
             trigger=batch.trigger,
-            backend_key=backend.key,
+            backend_key=backend_key,
             service_time_s=service_time,
             latencies_s=latencies,
-            first_arrival_s=float(batch.arrival_s.min()),
+            # Batch arrivals are non-decreasing by construction, so the
+            # first element is the minimum — no reduction pass needed.
+            first_arrival_s=float(batch.arrival_s[0]),
             completion_s=completion,
+            kernel_queries=kernel_queries,
         )
 
     def _artifact_key(self, dataset: str, backend: Backend) -> ArtifactKey:

@@ -21,9 +21,28 @@ from typing import TYPE_CHECKING, Dict, Optional
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .cache import AnswerCache
     from .registry import IndexRegistry
 
-__all__ = ["ServiceStats", "StatsCollector", "batch_size_bucket", "grow_table"]
+__all__ = ["ServiceStats", "StatsCollector", "batch_size_bucket", "grow_table",
+           "dedup_factor", "hit_rate"]
+
+
+def dedup_factor(answered: int, kernel_queries: int) -> float:
+    """Answered queries per kernel-executed query (the shared convention).
+
+    1.0 before any answer (or with the skew path off and nothing served),
+    ``inf`` when every answer came from a cache.
+    """
+    if kernel_queries:
+        return answered / kernel_queries
+    return float("inf") if answered else 1.0
+
+
+def hit_rate(hits: int, misses: int) -> float:
+    """Hits over lookups, 0.0 before the first lookup (shared convention)."""
+    lookups = hits + misses
+    return hits / lookups if lookups else 0.0
 
 
 def grow_table(table: np.ndarray, used: int, needed: int) -> np.ndarray:
@@ -60,12 +79,22 @@ class ServiceStats:
     #: Queries submitted / answered so far (they differ by what is queued).
     queries_submitted: int
     queries_answered: int
+    #: Queries actually executed on a backend kernel.  With the skew-aware
+    #: path on this counts only the unique cache-miss pairs of each batch;
+    #: with it off it equals ``queries_answered``.
+    kernel_queries: int
+    #: ``queries_answered / kernel_queries`` — how many answered queries each
+    #: kernel-executed query amortized (1.0 with the skew path off; ``inf``
+    #: when every answer came from the cache).
+    dedup_factor: float
     #: Batches executed, and the distribution of their sizes in power-of-two
     #: buckets (bucket lower bound → count).
     batches_flushed: int
     mean_batch_size: float
     batch_size_histogram: Dict[int, int]
-    #: Why batches flushed: counts for "size", "wait" and "drain" triggers.
+    #: Why batches flushed: counts for "size", "wait" and "drain" triggers,
+    #: plus "hit" for front-door answer-cache batches (answered at
+    #: admission, never queued).
     flush_triggers: Dict[str, int]
     #: How often each backend was chosen, keyed by backend key.
     backend_choices: Dict[str, int]
@@ -85,6 +114,13 @@ class ServiceStats:
     cache_evictions: int
     cache_hit_rate: float
     cache_bytes_in_use: int
+    #: Answer-cache accounting (the per-pair result cache of the skew-aware
+    #: fast path; all zero when the cache is disabled).
+    answer_cache_hits: int
+    answer_cache_misses: int
+    answer_cache_hit_rate: float
+    answer_cache_bytes: int
+    answer_cache_resets: int
 
     @property
     def throughput_qps(self) -> float:
@@ -115,6 +151,13 @@ class ServiceStats:
             f"index cache        : {self.cache_hits} hits / {self.cache_misses} misses "
             f"({self.cache_hit_rate:.1%}), {self.cache_evictions} evictions, "
             f"{self.cache_bytes_in_use:,} bytes",
+            f"answer cache       : {self.answer_cache_hits} hits / "
+            f"{self.answer_cache_misses} misses "
+            f"({self.answer_cache_hit_rate:.1%}), "
+            f"{self.answer_cache_resets} resets, "
+            f"{self.answer_cache_bytes:,} bytes; "
+            f"dedup factor {self.dedup_factor:.2f}x "
+            f"({self.kernel_queries} kernel queries)",
         ]
         return "\n".join(lines)
 
@@ -125,6 +168,7 @@ class StatsCollector:
 
     queries_submitted: int = 0
     queries_answered: int = 0
+    kernel_queries: int = 0
     batches_flushed: int = 0
     busy_time_s: float = 0.0
     batch_sizes: Counter = field(default_factory=Counter)
@@ -163,11 +207,28 @@ class StatsCollector:
         """Count newly submitted queries."""
         self.queries_submitted += int(count)
 
+    def reserve(self, capacity: int) -> None:
+        """Pre-size the latency table (capacity planning for long streams).
+
+        Growth is amortized O(1) either way; reserving up front keeps the
+        doubling copies out of latency-sensitive serving windows.
+        """
+        self._latency_table = grow_table(
+            self._latency_table, self._latency_count, int(capacity)
+        )
+
     def record_batch(self, *, size: int, trigger: str, backend_key: str,
                      service_time_s: float, latencies_s: np.ndarray,
-                     first_arrival_s: float, completion_s: float) -> None:
-        """Fold one completed batch into the counters."""
+                     first_arrival_s: float, completion_s: float,
+                     kernel_queries: Optional[int] = None) -> None:
+        """Fold one completed batch into the counters.
+
+        ``kernel_queries`` is how many of the batch's queries actually ran
+        on a backend kernel (the unique cache misses under the skew-aware
+        path); it defaults to the full batch size.
+        """
         self.queries_answered += int(size)
+        self.kernel_queries += int(size) if kernel_queries is None else int(kernel_queries)
         self.batches_flushed += 1
         self.busy_time_s += float(service_time_s)
         self.batch_sizes[batch_size_bucket(size)] += 1
@@ -184,11 +245,14 @@ class StatsCollector:
         if self._last_completion_s is None or completion_s > self._last_completion_s:
             self._last_completion_s = float(completion_s)
 
-    def snapshot(self, *, registry: Optional["IndexRegistry"] = None) -> ServiceStats:
+    def snapshot(self, *, registry: Optional["IndexRegistry"] = None,
+                 answer_cache: Optional["AnswerCache"] = None) -> ServiceStats:
         """Freeze the current counters into a :class:`ServiceStats`.
 
         ``registry`` (an :class:`~repro.service.registry.IndexRegistry`)
-        contributes the cache section; omitted, those fields read zero.
+        contributes the index-cache section and ``answer_cache`` (an
+        :class:`~repro.service.cache.AnswerCache`) the answer-cache section;
+        omitted, the corresponding fields read zero.
         """
         if self._latency_count:
             lat = self._latency_table[:self._latency_count]
@@ -204,6 +268,9 @@ class StatsCollector:
         return ServiceStats(
             queries_submitted=self.queries_submitted,
             queries_answered=self.queries_answered,
+            kernel_queries=self.kernel_queries,
+            dedup_factor=dedup_factor(self.queries_answered,
+                                      self.kernel_queries),
             batches_flushed=self.batches_flushed,
             mean_batch_size=mean_batch,
             batch_size_histogram=dict(self.batch_sizes),
@@ -220,4 +287,13 @@ class StatsCollector:
             cache_evictions=registry.evictions if registry is not None else 0,
             cache_hit_rate=registry.hit_rate if registry is not None else 0.0,
             cache_bytes_in_use=registry.bytes_in_use if registry is not None else 0,
+            answer_cache_hits=answer_cache.hits if answer_cache is not None else 0,
+            answer_cache_misses=(
+                answer_cache.misses if answer_cache is not None else 0),
+            answer_cache_hit_rate=(
+                answer_cache.hit_rate if answer_cache is not None else 0.0),
+            answer_cache_bytes=(
+                answer_cache.nbytes if answer_cache is not None else 0),
+            answer_cache_resets=(
+                answer_cache.resets if answer_cache is not None else 0),
         )

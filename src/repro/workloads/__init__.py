@@ -34,7 +34,13 @@ from .arrivals import (
     diurnal_intensity,
     flash_crowd_intensity,
 )
-from .keys import HotspotKeys, KeyDistribution, UniformKeys, ZipfKeys
+from .keys import (
+    HotspotKeys,
+    KeyDistribution,
+    QueryPoolKeys,
+    UniformKeys,
+    ZipfKeys,
+)
 from .replay import PhaseReport, ScenarioReport, replay
 from .scenario import SCENARIOS, Phase, Scenario, TrafficSource, make_scenario
 
@@ -53,6 +59,7 @@ __all__ = [
     "UniformKeys",
     "ZipfKeys",
     "HotspotKeys",
+    "QueryPoolKeys",
     # scenarios
     "TrafficSource",
     "Phase",

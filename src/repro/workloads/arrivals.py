@@ -12,8 +12,9 @@ such processes; this module implements the classic recipes on top of NumPy:
 * :class:`DeterministicArrivals` — the uniform spacing the old benchmarks
   used, kept as the degenerate baseline (and for bit-compatibility with
   :func:`~repro.experiments.service_experiments.offered_load_sweep`);
-* :class:`PoissonArrivals` — a homogeneous Poisson process, simulated by
-  cumulative exponential gaps;
+* :class:`PoissonArrivals` — a homogeneous Poisson process, simulated in
+  bulk by conditional uniformity (draw the window's Poisson count, then
+  sort that many uniforms — two rng calls, no loop);
 * :class:`InhomogeneousPoissonArrivals` — an arbitrary intensity function,
   simulated by *thinning* (Lewis & Shedler): draw a homogeneous process at
   the peak rate, keep each candidate at ``t`` with probability
@@ -21,7 +22,8 @@ such processes; this module implements the classic recipes on top of NumPy:
 * :class:`MarkovModulatedArrivals` — a two-state (on/off) Markov-modulated
   Poisson process: exponentially distributed bursts of high-rate traffic
   separated by exponentially distributed lulls, the standard model for
-  bursty sources.
+  bursty sources; sojourns are drawn in chunked bulk blocks and arrivals
+  placed with one vectorized count draw + one sort.
 
 All processes emit one sorted float64 array of *absolute* arrival times —
 exactly the ``at=`` axis :meth:`repro.service.LCAQueryService.submit_many`
@@ -92,9 +94,12 @@ def _poisson_times(
 ) -> np.ndarray:
     """Homogeneous Poisson arrivals at ``rate`` in ``[t0, t0 + duration)``.
 
-    Draws exponential inter-arrival gaps in bulk (six standard deviations of
-    headroom over the expected count) and extends in the vanishingly rare
-    case the pre-drawn gaps fall short of covering the window.
+    Bulk simulation via the conditional-uniformity property (the IPPP
+    recipe Hohmann, arXiv:1901.10754, calls sampling "number and location
+    of points" separately): the count over the window is
+    ``Poisson(rate * duration)``, and conditional on the count the arrival
+    times are iid uniform over the window, sorted.  Exactly two rng calls
+    and one sort — no Python loop, and exact (not a discretization).
 
     >>> import numpy as np
     >>> times = _poisson_times(1e4, 1.0, 0.5, np.random.default_rng(0))
@@ -105,18 +110,12 @@ def _poisson_times(
     """
     if duration == 0 or rate == 0:
         return np.empty(0, dtype=np.float64)
-    mean = rate * duration
-    out: List[np.ndarray] = []
-    elapsed = 0.0
-    while elapsed < duration:
-        block = int(mean - rate * elapsed + 6.0 * math.sqrt(mean) + 16.0)
-        gaps = rng.exponential(1.0 / rate, size=block)
-        times = elapsed + np.cumsum(gaps)
-        out.append(times)
-        elapsed = float(times[-1])
-    offsets = np.concatenate(out) if len(out) > 1 else out[0]
-    offsets = offsets[offsets < duration]
-    return t0 + offsets
+    count = int(rng.poisson(rate * duration))
+    if count == 0:
+        return np.empty(0, dtype=np.float64)
+    offsets = rng.random(count)
+    offsets.sort()
+    return t0 + offsets * duration
 
 
 @dataclass(frozen=True)
@@ -284,22 +283,55 @@ class MarkovModulatedArrivals(ArrivalProcess):
     def generate(
         self, t0: float, duration: float, rng: np.random.Generator
     ) -> np.ndarray:
+        """Bulk MMPP simulation: chunked sojourn draws, then bulk arrivals.
+
+        Sojourns are drawn in alternating on/off blocks (one bulk
+        exponential call per state per chunk, six-sigma headroom over the
+        expected cycle count, extending in the rare shortfall) instead of
+        one Python-loop draw per state switch.  Arrival placement then uses
+        the conditional-uniformity property per interval: one vectorized
+        ``Poisson(rate * span)`` count draw over all intervals, one bulk
+        uniform draw for the positions, and a single sort (the intervals
+        are disjoint and ascending, so one global sort orders the stream).
+        """
         _check_window(t0, duration)
-        pieces: List[np.ndarray] = []
-        elapsed = 0.0
-        on = self.start_on
-        while elapsed < duration:
-            mean = self.mean_on_s if on else self.mean_off_s
-            rate = self.on_qps if on else self.off_qps
-            sojourn = float(rng.exponential(mean))
-            span = min(sojourn, duration - elapsed)
-            if rate > 0 and span > 0:
-                pieces.append(_poisson_times(rate, elapsed, span, rng))
-            elapsed += sojourn
-            on = not on
-        if not pieces:
+        if duration == 0:
             return np.empty(0, dtype=np.float64)
-        return t0 + np.concatenate(pieces)
+        mean_first = self.mean_on_s if self.start_on else self.mean_off_s
+        mean_second = self.mean_off_s if self.start_on else self.mean_on_s
+        mean_cycle = self.mean_on_s + self.mean_off_s
+        blocks: List[np.ndarray] = []
+        covered = 0.0
+        while covered < duration:
+            cycles = (duration - covered) / mean_cycle
+            k = int(cycles + 6.0 * math.sqrt(cycles) + 4.0)
+            first = rng.exponential(mean_first, size=k)
+            second = rng.exponential(mean_second, size=k)
+            block = np.empty(2 * k, dtype=np.float64)
+            block[0::2] = first
+            block[1::2] = second
+            blocks.append(block)
+            covered += float(block.sum())
+            # A block holds an even number of sojourns, so the next chunk
+            # (if the six-sigma headroom ever falls short) starts in the
+            # same state again.
+        sojourns = np.concatenate(blocks) if len(blocks) > 1 else blocks[0]
+        ends = np.cumsum(sojourns)
+        starts = ends - sojourns
+        m = int(np.searchsorted(starts, duration, side="left"))
+        starts = starts[:m]
+        spans = np.minimum(ends[:m], duration) - starts
+        rate_first = self.on_qps if self.start_on else self.off_qps
+        rate_second = self.off_qps if self.start_on else self.on_qps
+        rates = np.where(np.arange(m) % 2 == 0, rate_first, rate_second)
+        counts = rng.poisson(rates * spans)
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.float64)
+        positions = rng.random(total)
+        times = np.repeat(starts, counts) + positions * np.repeat(spans, counts)
+        times.sort()
+        return t0 + times
 
     def expected_count(self, duration: float) -> float:
         duty = self.mean_on_s / (self.mean_on_s + self.mean_off_s)

@@ -13,12 +13,20 @@ balance the routers and consistent-hash placement actually see:
   (``P(rank r) ∝ 1 / r**alpha``), the empirical shape of social-graph and
   content-catalog access patterns;
 * :class:`HotspotKeys` — a two-tier mixture: a small "hot set" of nodes
-  absorbs a fixed share of the traffic, the rest is uniform background.
+  absorbs a fixed share of the traffic, the rest is uniform background;
+* :class:`QueryPoolKeys` — *pair-level* repetition: a finite pool of query
+  pairs (drawn once over the whole node range) that the traffic revisits,
+  uniformly or Zipf-ranked.  The node-level models above draw ``x`` and
+  ``y`` independently, which concentrates traffic on hot *nodes* but almost
+  never repeats whole *pairs* over a large tree; real request streams
+  repeat whole queries, which is the regime memoizing layers (the serving
+  stack's answer cache, any result CDN) actually exploit.
 
 Every model draws from a caller-supplied :class:`numpy.random.Generator`
 with a documented draw order (first the ``xs`` array, then the ``ys``
-array, each in one bulk call), so a scenario's key stream is reproducible
-and independent of how the replay harness chunks its submissions.
+array, each in one bulk call — :class:`QueryPoolKeys` draws one bulk array
+of pool ranks instead), so a scenario's key stream is reproducible and
+independent of how the replay harness chunks its submissions.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ __all__ = [
     "UniformKeys",
     "ZipfKeys",
     "HotspotKeys",
+    "QueryPoolKeys",
 ]
 
 
@@ -170,4 +179,93 @@ class HotspotKeys(KeyDistribution):
         return (
             f"HotspotKeys(hot_fraction={self.hot_fraction}, "
             f"hot_weight={self.hot_weight})"
+        )
+
+
+@dataclass(frozen=True)
+class QueryPoolKeys(KeyDistribution):
+    """A finite pool of repeated query pairs over the whole node range.
+
+    The pool — ``max(min_pool, pool_fraction * n)`` node pairs, drawn
+    uniformly over ``[0, n)`` from ``pool_seed`` (memoized per ``n``,
+    independent of the caller's rng so the pool is a property of the
+    workload, not of where the stream is cut) — models a catalog of
+    *requests*: every emitted query revisits a pool pair.  ``alpha``
+    selects which: 0 draws pool ranks uniformly (a flat hot set of
+    queries), positive values draw them Zipf-ranked
+    (``P(rank r) ∝ 1/r**alpha`` — a popularity-ranked request stream).
+
+    This is the distribution that makes pair-level repetition — the
+    quantity an answer cache sees — independent of tree size: node-level
+    skew cannot repeat whole pairs over a large tree because ``x`` and
+    ``y`` are drawn independently.
+
+    >>> import numpy as np
+    >>> keys = QueryPoolKeys(pool_fraction=0.01, pool_seed=3)
+    >>> xs, ys = keys.sample(np.random.default_rng(5), 5000, 10_000)
+    >>> pairs = set(zip(xs.tolist(), ys.tolist()))
+    >>> len(pairs) <= 100          # every query comes from the 100-pair pool
+    True
+    """
+
+    pool_fraction: float = 1.0 / 64.0
+    alpha: float = 0.0
+    pool_seed: int = 0
+    min_pool: int = 64
+    _pools: Dict[int, Tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+    _cdf_cache: Dict[int, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.pool_fraction <= 1.0:
+            raise ConfigurationError("pool_fraction must be in (0, 1]")
+        if self.alpha < 0:
+            raise ConfigurationError("alpha must be non-negative")
+        if self.min_pool < 1:
+            raise ConfigurationError("min_pool must be positive")
+
+    def pool_size(self, n: int) -> int:
+        """Number of pool pairs for a tree of ``n`` nodes."""
+        return max(self.min_pool, int(self.pool_fraction * n))
+
+    def _pool(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        pool = self._pools.get(n)
+        if pool is None:
+            size = self.pool_size(n)
+            rng = np.random.default_rng(self.pool_seed)
+            pool = (
+                rng.integers(0, n, size=size, dtype=np.int64),
+                rng.integers(0, n, size=size, dtype=np.int64),
+            )
+            self._pools[n] = pool
+        return pool
+
+    def _cdf(self, size: int) -> np.ndarray:
+        cdf = self._cdf_cache.get(size)
+        if cdf is None:
+            weights = np.arange(1, size + 1, dtype=np.float64) ** -self.alpha
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+            self._cdf_cache[size] = cdf
+        return cdf
+
+    def sample(
+        self, rng: np.random.Generator, size: int, n: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        pool_x, pool_y = self._pool(n)
+        if self.alpha == 0.0:
+            ranks = rng.integers(0, pool_x.size, size=size, dtype=np.int64)
+        else:
+            ranks = np.searchsorted(
+                self._cdf(pool_x.size), rng.random(size), side="right"
+            ).astype(np.int64)
+        return pool_x[ranks], pool_y[ranks]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        return (
+            f"QueryPoolKeys(pool_fraction={self.pool_fraction}, "
+            f"alpha={self.alpha})"
         )

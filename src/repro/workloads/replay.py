@@ -29,8 +29,9 @@ Two mechanical details make the replay faithful:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -38,6 +39,8 @@ from ..errors import Overloaded
 from ..graphs.generators import random_attachment_tree
 from ..lca import BinaryLiftingLCA
 from ..service import ClusterService, LCAQueryService
+from ..service.stats import dedup_factor as _dedup_factor
+from ..service.stats import hit_rate as _hit_rate
 from .scenario import Scenario
 
 __all__ = ["PhaseReport", "ScenarioReport", "replay"]
@@ -68,6 +71,12 @@ class PhaseReport:
     #: queries (0.0 when nothing was admitted).
     latency_p50_s: float
     latency_p99_s: float
+    #: Answer-cache hit rate over the lookups performed while this phase's
+    #: blocks were being admitted (0.0 when the target runs without an
+    #: answer cache).  Batches still pending at the phase boundary are
+    #: attributed to the phase that flushes them; the trailing drain counts
+    #: toward the final phase.
+    answer_cache_hit_rate: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -105,6 +114,16 @@ class ScenarioReport:
     load_imbalance: float
     #: The target's stats snapshot taken after the final drain.
     stats: object
+    #: Answer-cache hit rate and dedup factor over *this replay's* lookups
+    #: and batches (counter deltas, so a reused target reports the replay,
+    #: not its lifetime; 0.0 / 1.0 without the skew-aware path, ``inf``
+    #: dedup when every answer came from the cache).
+    answer_cache_hit_rate: float = 0.0
+    dedup_factor: float = 1.0
+    #: Host wall-clock seconds spent inside the serving calls (submit_many,
+    #: drain, latencies) — trace generation excluded.  The skew benchmark
+    #: derives its wall-clock throughput from this.
+    serve_wall_s: float = 0.0
 
     def format(self) -> str:
         """Render the report as an aligned text block."""
@@ -124,10 +143,12 @@ class ScenarioReport:
             f"latency p50/p99    : {self.latency_p50_s * 1e6:.2f} / "
             f"{self.latency_p99_s * 1e6:.2f} us",
             f"load imbalance     : {self.load_imbalance:.2f}x",
+            f"answer cache       : {self.answer_cache_hit_rate:.1%} hit rate, "
+            f"dedup factor {self.dedup_factor:.2f}x",
             "",
             f"{'phase':<12} {'dur ms':>8} {'offered':>9} {'admitted':>9} "
             f"{'shed':>8} {'offered q/s':>12} {'delivered q/s':>14} "
-            f"{'p50 us':>9} {'p99 us':>9}",
+            f"{'p50 us':>9} {'p99 us':>9} {'hit %':>7}",
         ]
         for p in self.phases:
             lines.append(
@@ -135,7 +156,8 @@ class ScenarioReport:
                 f"{p.queries_offered:>9} {p.queries_admitted:>9} "
                 f"{p.queries_shed:>8} {p.offered_qps:>12,.0f} "
                 f"{p.delivered_qps:>14,.0f} {p.latency_p50_s * 1e6:>9.2f} "
-                f"{p.latency_p99_s * 1e6:>9.2f}"
+                f"{p.latency_p99_s * 1e6:>9.2f} "
+                f"{p.answer_cache_hit_rate:>6.1%}"
             )
         return "\n".join(lines)
 
@@ -189,6 +211,28 @@ def _percentiles(latencies: np.ndarray) -> Tuple[float, float]:
     return float(p50), float(p99)
 
 
+def _answer_cache_counters(target: ServiceTarget) -> Tuple[int, int]:
+    """Cumulative answer-cache (hits, misses) of either target kind."""
+    if isinstance(target, ClusterService):
+        caches = [replica.answer_cache for replica in target.replicas]
+    else:
+        caches = [target.answer_cache]
+    hits = sum(c.hits for c in caches if c is not None)
+    misses = sum(c.misses for c in caches if c is not None)
+    return hits, misses
+
+
+def _dedup_counters(target: ServiceTarget) -> Tuple[int, int]:
+    """Cumulative (queries_answered, kernel_queries) of either target kind."""
+    if isinstance(target, ClusterService):
+        collectors = [replica.stats_collector for replica in target.replicas]
+    else:
+        collectors = [target.stats_collector]
+    answered = sum(c.queries_answered for c in collectors)
+    kernel = sum(c.kernel_queries for c in collectors)
+    return answered, kernel
+
+
 def replay(
     target: ServiceTarget,
     scenario: Scenario,
@@ -196,6 +240,7 @@ def replay(
     admission_window_s: float = 5e-3,
     warm: bool = True,
     check_answers: bool = False,
+    seed: Optional[int] = None,
 ) -> ScenarioReport:
     """Feed ``scenario`` to ``target`` in column blocks; report the outcome.
 
@@ -208,6 +253,14 @@ def replay(
     column and the partially admitted prefix keeps its tickets.  With
     ``check_answers`` every fully admitted block is verified against the
     binary-lifting oracle after the drain.
+
+    ``seed`` overrides the scenario's trace seed for this replay only — a
+    fresh *realization* of the same workload (new arrival times, new key
+    draws) over the same trees and, for pool-based key distributions, the
+    same query pools (their ``pool_seed`` is part of the workload spec, not
+    of the trace).  Sources with an explicit ``key_seed`` keep it.  The
+    skew benchmark uses this to measure steady-state serving on fresh
+    traffic instead of replaying one memorized trace.
 
     >>> from repro.service import LCAQueryService
     >>> from repro.workloads import make_scenario
@@ -224,10 +277,11 @@ def replay(
     sources = scenario.sources
     weights = np.array([s.weight for s in sources], dtype=np.float64)
     weights /= weights.sum()
-    arrival_rng = np.random.default_rng(scenario.seed)
+    trace_seed = scenario.seed if seed is None else int(seed)
+    arrival_rng = np.random.default_rng(trace_seed)
     key_rngs = {
         source.dataset: np.random.default_rng(
-            scenario.seed + 1 + index
+            trace_seed + 1 + index
             if source.key_seed is None
             else source.key_seed
         )
@@ -238,6 +292,11 @@ def replay(
     verified_runs: List[Tuple[str, np.ndarray, np.ndarray, np.ndarray]] = []
     phase_tickets: List[List[np.ndarray]] = []
     phase_raw: List[Tuple[str, float, int, int]] = []  # name, dur, offered, shed
+    # Cumulative answer-cache (hits, misses) at each phase boundary; phase i's
+    # hit rate is the delta between boundaries i and i+1.
+    cache_marks: List[Tuple[int, int]] = [_answer_cache_counters(target)]
+    answered_0, kernel_0 = _dedup_counters(target)
+    serve_wall_s = 0.0
 
     t0 = target.clock.now
     for phase in scenario.phases:
@@ -279,12 +338,15 @@ def replay(
                 continue
             dataset = sources[int(assignment[a])].dataset
             before = target.tickets_issued
+            started = time.perf_counter()
             try:
                 block = target.submit_many(dataset, xs[a:b], ys[a:b], at=arrivals[a:b])
+                serve_wall_s += time.perf_counter() - started
                 tickets.append(block)
                 if check_answers:
                     verified_runs.append((dataset, xs[a:b], ys[a:b], block))
             except Overloaded as exc:
+                serve_wall_s += time.perf_counter() - started
                 shed += exc.shed
                 if exc.admitted:
                     tickets.append(
@@ -292,9 +354,14 @@ def replay(
                     )
         phase_tickets.append(tickets)
         phase_raw.append((phase.name, phase.duration_s, count, shed))
+        cache_marks.append(_answer_cache_counters(target))
         t0 += phase.duration_s
 
+    started = time.perf_counter()
     target.drain()
+    serve_wall_s += time.perf_counter() - started
+    # The drain's lookups belong to the final phase's boundary.
+    cache_marks[-1] = _answer_cache_counters(target)
     if isinstance(target, ClusterService):
         cluster_stats = target.stats()
         stats: object = cluster_stats
@@ -331,14 +398,20 @@ def replay(
 
     phases: List[PhaseReport] = []
     all_latencies: List[np.ndarray] = []
-    for (name, duration, offered, shed), tickets in zip(phase_raw, phase_tickets):
+    for index, ((name, duration, offered, shed), tickets) in enumerate(
+        zip(phase_raw, phase_tickets)
+    ):
         admitted = int(sum(t.size for t in tickets))
         if admitted:
+            started = time.perf_counter()
             latencies = target.latencies(np.concatenate(tickets))
+            serve_wall_s += time.perf_counter() - started
             all_latencies.append(latencies)
         else:
             latencies = np.empty(0, dtype=np.float64)
         p50, p99 = _percentiles(latencies)
+        hits0, misses0 = cache_marks[index]
+        hits1, misses1 = cache_marks[index + 1]
         phases.append(
             PhaseReport(
                 name=name,
@@ -351,6 +424,7 @@ def replay(
                 shed_rate=shed / offered if offered else 0.0,
                 latency_p50_s=p50,
                 latency_p99_s=p99,
+                answer_cache_hit_rate=_hit_rate(hits1 - hits0, misses1 - misses0),
             )
         )
 
@@ -363,6 +437,9 @@ def replay(
     offered_total = sum(p.queries_offered for p in phases)
     admitted_total = sum(p.queries_admitted for p in phases)
     shed_total = sum(p.queries_shed for p in phases)
+    total_hits, total_misses = cache_marks[-1]
+    first_hits, first_misses = cache_marks[0]
+    answered_1, kernel_1 = _dedup_counters(target)
     return ScenarioReport(
         scenario=scenario.name,
         target_kind=target_kind,
@@ -379,4 +456,10 @@ def replay(
         latency_p99_s=p99,
         load_imbalance=load_imbalance,
         stats=stats,
+        answer_cache_hit_rate=_hit_rate(
+            total_hits - first_hits, total_misses - first_misses
+        ),
+        dedup_factor=_dedup_factor(answered_1 - answered_0,
+                                   kernel_1 - kernel_0),
+        serve_wall_s=serve_wall_s,
     )

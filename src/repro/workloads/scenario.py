@@ -23,15 +23,19 @@ The module also ships a small library of named scenarios —
     recovery — the scenario that must push a bounded cluster into
     :class:`~repro.errors.Overloaded` shedding.
 ``skewed-hotspot``
-    Two trees, one Zipf-skewed and one with a 1%-hot-set mixture, under
-    steady Poisson load: stresses cache affinity and load imbalance.
+    Two repeated-query streams (a Zipf-ranked request pool and a flat hot
+    query set) under steady Poisson load: stresses answer-cache behaviour,
+    cache affinity and load imbalance.
 ``multi-tenant``
     Three tenants of very different sizes and key shapes sharing one
     cluster, with a bursty (Markov-modulated) second phase.
 
 All named scenarios take a ``scale`` knob that stretches or shrinks phase
 durations (query volume scales with it; rates — and therefore the overload
-behaviour — do not change).
+behaviour — do not change) and a ``nodes_scale`` knob that multiplies every
+source's tree size (catalog scale: 1.0 keeps the library's test-friendly
+defaults; the skew benchmark replays at production catalog sizes, where the
+query kernel's node-table gathers pay real memory-hierarchy costs).
 """
 
 from __future__ import annotations
@@ -48,7 +52,13 @@ from .arrivals import (
     PoissonArrivals,
     diurnal_intensity,
 )
-from .keys import HotspotKeys, KeyDistribution, UniformKeys, ZipfKeys
+from .keys import (
+    HotspotKeys,
+    KeyDistribution,
+    QueryPoolKeys,
+    UniformKeys,
+    ZipfKeys,
+)
 
 __all__ = [
     "TrafficSource",
@@ -174,7 +184,13 @@ def _dur(seconds: float, scale: float) -> float:
     return max(_MIN_PHASE_S, seconds * scale)
 
 
-def steady(*, scale: float = 1.0, seed: int = 0) -> Scenario:
+def _nodes(base: int, nodes_scale: float) -> int:
+    if nodes_scale <= 0:
+        raise ConfigurationError("nodes_scale must be positive")
+    return max(64, int(base * nodes_scale))
+
+
+def steady(*, scale: float = 1.0, seed: int = 0, nodes_scale: float = 1.0) -> Scenario:
     """One uniform tree at a constant deterministic rate (the legacy load).
 
     Deliberately identical in spirit — and, seeded carefully, identical bit
@@ -186,7 +202,12 @@ def steady(*, scale: float = 1.0, seed: int = 0) -> Scenario:
         name="steady",
         description="constant-rate uniform traffic on one tree",
         sources=(
-            TrafficSource("steady", nodes=16_384, tree_seed=seed, key_seed=seed + 1),
+            TrafficSource(
+                "steady",
+                nodes=_nodes(16_384, nodes_scale),
+                tree_seed=seed,
+                key_seed=seed + 1,
+            ),
         ),
         phases=(
             Phase("steady", DeterministicArrivals(200_000.0), _dur(0.25, scale)),
@@ -195,14 +216,18 @@ def steady(*, scale: float = 1.0, seed: int = 0) -> Scenario:
     )
 
 
-def diurnal(*, scale: float = 1.0, seed: int = 0) -> Scenario:
+def diurnal(
+    *, scale: float = 1.0, seed: int = 0, nodes_scale: float = 1.0
+) -> Scenario:
     """A day/night cycle: raised-cosine intensity from 40k to 280k q/s."""
     duration = _dur(0.25, scale)
     intensity = diurnal_intensity(40_000.0, 280_000.0, period_s=duration)
     return Scenario(
         name="diurnal",
         description="sinusoidal day/night load (inhomogeneous Poisson)",
-        sources=(TrafficSource("diurnal", nodes=16_384, tree_seed=seed),),
+        sources=(
+            TrafficSource("diurnal", nodes=_nodes(16_384, nodes_scale), tree_seed=seed),
+        ),
         phases=(
             Phase(
                 "cycle",
@@ -214,7 +239,9 @@ def diurnal(*, scale: float = 1.0, seed: int = 0) -> Scenario:
     )
 
 
-def flash_crowd(*, scale: float = 1.0, seed: int = 0) -> Scenario:
+def flash_crowd(
+    *, scale: float = 1.0, seed: int = 0, nodes_scale: float = 1.0
+) -> Scenario:
     """Calm traffic, a ~50× flash, then recovery.
 
     The flash phase offers load far beyond any bounded queue a sane
@@ -227,7 +254,9 @@ def flash_crowd(*, scale: float = 1.0, seed: int = 0) -> Scenario:
     return Scenario(
         name="flash-crowd",
         description="calm Poisson load with a 50x flash spike",
-        sources=(TrafficSource("flash", nodes=16_384, tree_seed=seed),),
+        sources=(
+            TrafficSource("flash", nodes=_nodes(16_384, nodes_scale), tree_seed=seed),
+        ),
         phases=(
             Phase("calm", calm, _dur(0.08, scale)),
             Phase("flash", flash, _dur(0.02, scale)),
@@ -237,33 +266,58 @@ def flash_crowd(*, scale: float = 1.0, seed: int = 0) -> Scenario:
     )
 
 
-def skewed_hotspot(*, scale: float = 1.0, seed: int = 0) -> Scenario:
-    """Two skewed trees under steady Poisson load (cache/imbalance stress)."""
+def skewed_hotspot(
+    *, scale: float = 1.0, seed: int = 0, nodes_scale: float = 1.0
+) -> Scenario:
+    """Two skewed repeated-query streams under steady Poisson load.
+
+    Both sources draw from :class:`QueryPoolKeys` — finite pools of query
+    *pairs* revisited over and over — because pair-level repetition is the
+    quantity skew-aware serving (intra-batch dedup, the answer cache, any
+    memoizing layer) actually sees.  Node-level Zipf draws ``x`` and ``y``
+    independently and therefore almost never repeats a whole pair over a
+    non-toy tree, which would contradict the hotspot regime this scenario
+    exists to model ("the same queries recomputed thousands of times per
+    second").  The ``zipfy`` source is a popularity-ranked request stream
+    (Zipf over pool ranks, heavy tail of rarely-repeated queries); the
+    ``hotspot`` source is a flat hot set of queries hammered uniformly.
+    Traffic arrives in sessions of 32768 consecutive same-dataset queries
+    (``mix_stride``), the bursty shape hot replayed/mirrored traffic has in
+    practice; replay admission windows cut these into front-door-sized
+    blocks, so queue-bound targets still observe admission every tick.
+    """
     return Scenario(
         name="skewed-hotspot",
-        description="Zipf + hot-set key skew over two trees",
+        description="Zipf-ranked + hot-set repeated-query pools, two trees",
         sources=(
             TrafficSource(
                 "zipfy",
-                nodes=32_768,
+                nodes=_nodes(32_768, nodes_scale),
                 weight=0.6,
-                keys=ZipfKeys(alpha=1.2),
+                keys=QueryPoolKeys(
+                    pool_fraction=1.0 / 128.0, alpha=1.3, pool_seed=seed + 11
+                ),
                 tree_seed=seed,
             ),
             TrafficSource(
                 "hotspot",
-                nodes=8_192,
+                nodes=_nodes(8_192, nodes_scale),
                 weight=0.4,
-                keys=HotspotKeys(hot_fraction=0.01, hot_weight=0.9),
+                keys=QueryPoolKeys(
+                    pool_fraction=1.0 / 256.0, alpha=0.0, pool_seed=seed + 12
+                ),
                 tree_seed=seed + 1,
             ),
         ),
         phases=(Phase("steady", PoissonArrivals(150_000.0), _dur(0.25, scale)),),
         seed=seed,
+        mix_stride=32768,
     )
 
 
-def multi_tenant(*, scale: float = 1.0, seed: int = 0) -> Scenario:
+def multi_tenant(
+    *, scale: float = 1.0, seed: int = 0, nodes_scale: float = 1.0
+) -> Scenario:
     """Three very different tenants sharing a cluster, then a bursty phase.
 
     A large uniformly hit tenant, a mid-size Zipf tenant and a small
@@ -278,10 +332,15 @@ def multi_tenant(*, scale: float = 1.0, seed: int = 0) -> Scenario:
         name="multi-tenant",
         description="three tenants (uniform/Zipf/hot-set) + a bursty phase",
         sources=(
-            TrafficSource("tenant-large", nodes=65_536, weight=0.5, tree_seed=seed),
+            TrafficSource(
+                "tenant-large",
+                nodes=_nodes(65_536, nodes_scale),
+                weight=0.5,
+                tree_seed=seed,
+            ),
             TrafficSource(
                 "tenant-medium",
-                nodes=16_384,
+                nodes=_nodes(16_384, nodes_scale),
                 weight=0.3,
                 keys=ZipfKeys(alpha=1.1),
                 tree_seed=seed + 1,
@@ -289,7 +348,7 @@ def multi_tenant(*, scale: float = 1.0, seed: int = 0) -> Scenario:
             ),
             TrafficSource(
                 "tenant-small",
-                nodes=4_096,
+                nodes=_nodes(4_096, nodes_scale),
                 weight=0.2,
                 keys=HotspotKeys(),
                 tree_seed=seed + 2,
@@ -314,8 +373,13 @@ SCENARIOS: Dict[str, Callable[..., Scenario]] = {
 }
 
 
-def make_scenario(name: str, *, scale: float = 1.0, seed: int = 0) -> Scenario:
+def make_scenario(
+    name: str, *, scale: float = 1.0, seed: int = 0, nodes_scale: float = 1.0
+) -> Scenario:
     """Build a named scenario (see :data:`SCENARIOS` for the library).
+
+    ``scale`` stretches phase durations (traffic volume); ``nodes_scale``
+    multiplies every source's tree size (catalog scale).
 
     >>> make_scenario("steady").name
     'steady'
@@ -330,4 +394,4 @@ def make_scenario(name: str, *, scale: float = 1.0, seed: int = 0) -> Scenario:
         raise ConfigurationError(
             f"unknown scenario {name!r}; known scenarios: {sorted(SCENARIOS)}"
         ) from None
-    return builder(scale=scale, seed=seed)
+    return builder(scale=scale, seed=seed, nodes_scale=nodes_scale)
