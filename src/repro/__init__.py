@@ -43,6 +43,7 @@ from . import (
     experiments,
     graphs,
     lca,
+    obs,
     primitives,
     service,
     workloads,
@@ -73,7 +74,14 @@ from .errors import (
 )
 from .euler import EulerTour, TreeStats, build_euler_tour, compute_tree_stats
 from .graphs import CSRGraph, EdgeList
-from .lca import InlabelLCA, NaiveGPULCA, RMQLCA, SequentialInlabelLCA
+from .lca import (
+    InlabelLCA,
+    NaiveGPULCA,
+    RMQLCA,
+    SequentialInlabelLCA,
+    dedup_query_pairs,
+)
+from .obs import MetricRegistry, StageTimer, TraceRecorder, TraceTable
 from .service import (
     AnswerCache,
     BatchPolicy,
@@ -86,9 +94,15 @@ from .service import (
     Router,
     ServiceStats,
 )
-from .workloads import Scenario, ScenarioReport, make_scenario, replay
+from .workloads import (
+    QueryPoolKeys,
+    Scenario,
+    ScenarioReport,
+    make_scenario,
+    replay,
+)
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "__version__",
@@ -102,6 +116,7 @@ __all__ = [
     "experiments",
     "service",
     "workloads",
+    "obs",
     "errors",
     # most-used classes and functions
     "DeviceSpec",
@@ -119,6 +134,7 @@ __all__ = [
     "SequentialInlabelLCA",
     "NaiveGPULCA",
     "RMQLCA",
+    "dedup_query_pairs",
     "BridgeResult",
     "find_bridges_tarjan_vishkin",
     "find_bridges_ck",
@@ -139,8 +155,14 @@ __all__ = [
     # workload scenarios
     "Scenario",
     "ScenarioReport",
+    "QueryPoolKeys",
     "make_scenario",
     "replay",
+    # observability
+    "TraceRecorder",
+    "TraceTable",
+    "MetricRegistry",
+    "StageTimer",
     # errors
     "ReproError",
     "InvalidGraphError",

@@ -40,17 +40,15 @@ def summarize_kernels(records: Iterable[KernelRecord]) -> Dict[str, Dict[str, fl
 
     Returns a mapping ``kernel name -> {"launches", "ops", "bytes", "time_s"}``
     useful for spotting which primitive dominates an algorithm.
+
+    Thin wrapper over the shared implementation in
+    :func:`repro.obs.export.summarize_kernel_records` (imported lazily to
+    keep the device layer import-independent of :mod:`repro.obs`), kept for
+    the established Fig-11 API.
     """
-    out: Dict[str, Dict[str, float]] = {}
-    for rec in records:
-        agg = out.setdefault(
-            rec.name, {"launches": 0.0, "ops": 0.0, "bytes": 0.0, "time_s": 0.0}
-        )
-        agg["launches"] += rec.launches
-        agg["ops"] += rec.ops
-        agg["bytes"] += rec.bytes_total
-        agg["time_s"] += rec.time_s
-    return out
+    from ..obs.export import summarize_kernel_records
+
+    return summarize_kernel_records(records)
 
 
 def format_breakdown_table(

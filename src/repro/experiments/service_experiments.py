@@ -92,7 +92,8 @@ def serve_query_stream(parents: np.ndarray, xs: np.ndarray, ys: np.ndarray,
 def wallclock_serve_run(parents: np.ndarray, xs: np.ndarray, ys: np.ndarray,
                         arrivals_s: np.ndarray, policy: BatchPolicy, *,
                         mode: str = "columnar", warm: bool = True,
-                        check_answers: bool = False) -> Dict[str, object]:
+                        check_answers: bool = False,
+                        observer: Optional[object] = None) -> Dict[str, object]:
     """Measure host-side wall-clock throughput of one admission mode.
 
     ``mode="columnar"`` admits the stream through the vectorized
@@ -107,10 +108,20 @@ def wallclock_serve_run(parents: np.ndarray, xs: np.ndarray, ys: np.ndarray,
     dispatcher backend *before* the timer starts, so the number reported is
     sustained steady-state throughput rather than one cold index build
     amortized over however long the stream happens to be.
+
+    ``observer`` optionally attaches a
+    :class:`~repro.obs.events.TraceRecorder` to the service *inside* the
+    timed region's setup, so the overhead benchmark prices tracing with
+    this exact harness.
     """
     if mode not in ("columnar", "per-query"):
         raise ServiceError(f"unknown admission mode {mode!r}")
     service = LCAQueryService(policy=policy, dispatcher=CostModelDispatcher())
+    if observer is not None:
+        from ..obs.events import TraceRecorder
+        if not isinstance(observer, TraceRecorder):
+            raise ServiceError("observer must be a repro.obs TraceRecorder")
+        service.attach_observer(observer)
     service.register_tree("stream", parents)
     if warm:
         for backend in service.dispatcher.backends:

@@ -1,0 +1,510 @@
+"""Labeled metric registry: counters, gauges and fixed-bucket histograms.
+
+Prometheus-shaped but in-process and NumPy-backed: a
+:class:`MetricRegistry` owns named metrics, each metric owns one time
+series per label set, and histograms fold whole arrays of observations in
+with one ``searchsorted`` + ``bincount`` pass
+(:meth:`Histogram.observe_many`) instead of a Python loop per value.
+
+Snapshots (:meth:`MetricRegistry.snapshot`) are immutable and support
+*delta* semantics: ``current.delta(previous)`` re-expresses counters and
+histograms as the activity between two snapshots (gauges keep their
+current value), which is how a long-lived service reports per-window rates
+without resetting its counters.
+
+The adapters at the bottom re-express the serving stack's existing
+aggregate snapshots (:class:`~repro.service.stats.ServiceStats`,
+:class:`~repro.service.cluster.ClusterStats`) as metrics, so anything that
+can scrape the Prometheus text format (see
+:func:`repro.obs.export.prometheus_text`) can watch the simulated stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
+    from ..service.cluster import ClusterStats
+    from ..service.stats import ServiceStats
+
+__all__ = [
+    "LATENCY_BUCKETS_S",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramValue",
+    "MetricSnapshot",
+    "MetricsSnapshot",
+    "MetricRegistry",
+    "service_stats_metrics",
+    "cluster_stats_metrics",
+]
+
+#: Label sets are canonicalized to sorted (name, value) pairs.
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+#: Default latency buckets: 1 us .. ~100 ms in half-decade steps.
+LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    1e-6,
+    3e-6,
+    1e-5,
+    3e-5,
+    1e-4,
+    3e-4,
+    1e-3,
+    3e-3,
+    1e-2,
+    3e-2,
+    1e-1,
+)
+
+
+def _canonical(labels: Mapping[str, str]) -> LabelPairs:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass(frozen=True)
+class HistogramValue:
+    """One histogram series' state: per-bucket counts, sum and count.
+
+    ``bucket_counts`` has one entry per finite bucket bound plus a final
+    overflow bucket; counts are per-bucket (not cumulative — the exporter
+    cumulates for the Prometheus ``le`` convention).
+    """
+
+    bucket_counts: Tuple[int, ...]
+    sum: float
+    count: int
+
+
+#: A series' value in a snapshot: a float for counters/gauges, a
+#: :class:`HistogramValue` for histograms.
+SeriesValue = Union[float, HistogramValue]
+
+
+@dataclass(frozen=True)
+class MetricSnapshot:
+    """Immutable state of one metric: every series under one name."""
+
+    name: str
+    type: str
+    help: str
+    buckets: Tuple[float, ...]
+    series: Tuple[Tuple[LabelPairs, SeriesValue], ...]
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable state of a whole registry at one instant."""
+
+    metrics: Tuple[MetricSnapshot, ...]
+
+    def get(self, name: str) -> Optional[MetricSnapshot]:
+        """The snapshot of one metric by name (``None`` when absent)."""
+        for metric in self.metrics:
+            if metric.name == name:
+                return metric
+        return None
+
+    def value(self, name: str, **labels: str) -> SeriesValue:
+        """One series' value; raises :class:`ServiceError` when absent."""
+        metric = self.get(name)
+        if metric is not None:
+            wanted = _canonical(labels)
+            for pairs, value in metric.series:
+                if pairs == wanted:
+                    return value
+        raise ServiceError(f"no series {name}{dict(labels)} in snapshot")
+
+    def delta(self, previous: "MetricsSnapshot") -> "MetricsSnapshot":
+        """Activity between ``previous`` and this snapshot.
+
+        Counters and histograms subtract series-wise (a series absent from
+        ``previous`` counts from zero); gauges keep their current value.
+
+        >>> reg = MetricRegistry()
+        >>> c = reg.counter("queries_total", "Queries seen")
+        >>> c.inc(3.0)
+        >>> before = reg.snapshot()
+        >>> c.inc(2.0)
+        >>> reg.snapshot().delta(before).value("queries_total")
+        2.0
+        """
+        prev: Dict[str, Dict[LabelPairs, SeriesValue]] = {
+            m.name: dict(m.series) for m in previous.metrics
+        }
+        out: List[MetricSnapshot] = []
+        for metric in self.metrics:
+            if metric.type == "gauge":
+                out.append(metric)
+                continue
+            old = prev.get(metric.name, {})
+            series: List[Tuple[LabelPairs, SeriesValue]] = []
+            for pairs, value in metric.series:
+                before = old.get(pairs)
+                if before is None:
+                    series.append((pairs, value))
+                elif isinstance(value, HistogramValue):
+                    assert isinstance(before, HistogramValue)
+                    series.append(
+                        (
+                            pairs,
+                            HistogramValue(
+                                bucket_counts=tuple(
+                                    a - b
+                                    for a, b in zip(
+                                        value.bucket_counts, before.bucket_counts
+                                    )
+                                ),
+                                sum=value.sum - before.sum,
+                                count=value.count - before.count,
+                            ),
+                        )
+                    )
+                else:
+                    assert not isinstance(before, HistogramValue)
+                    series.append((pairs, value - before))
+            out.append(
+                MetricSnapshot(
+                    name=metric.name,
+                    type=metric.type,
+                    help=metric.help,
+                    buckets=metric.buckets,
+                    series=tuple(series),
+                )
+            )
+        return MetricsSnapshot(metrics=tuple(out))
+
+
+class Counter:
+    """A monotonically increasing labeled metric."""
+
+    def __init__(self, name: str, help: str) -> None:
+        self.name = name
+        self.help = help
+        self._series: Dict[LabelPairs, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        """Add ``amount`` (>= 0) to the series selected by ``labels``.
+
+        >>> c = Counter("hits_total", "Cache hits")
+        >>> c.inc(2.0, lane="cache")
+        >>> c.value(lane="cache")
+        2.0
+        """
+        amount = float(amount)
+        if amount < 0:
+            raise ServiceError(f"counter {self.name} cannot decrease")
+        key = _canonical(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        """Current value of one series (0.0 before the first ``inc``)."""
+        return self._series.get(_canonical(labels), 0.0)
+
+    def snapshot(self) -> MetricSnapshot:
+        """Freeze every series."""
+        return MetricSnapshot(
+            name=self.name,
+            type="counter",
+            help=self.help,
+            buckets=(),
+            series=tuple(sorted(self._series.items())),
+        )
+
+
+class Gauge:
+    """A labeled metric that can move both ways (set to current level)."""
+
+    def __init__(self, name: str, help: str) -> None:
+        self.name = name
+        self.help = help
+        self._series: Dict[LabelPairs, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        """Set the series selected by ``labels`` to ``value``.
+
+        >>> g = Gauge("queue_depth", "Queued queries")
+        >>> g.set(7, dataset="t")
+        >>> g.value(dataset="t")
+        7.0
+        """
+        self._series[_canonical(labels)] = float(value)
+
+    def value(self, **labels: str) -> float:
+        """Current value of one series (0.0 before the first ``set``)."""
+        return self._series.get(_canonical(labels), 0.0)
+
+    def snapshot(self) -> MetricSnapshot:
+        """Freeze every series."""
+        return MetricSnapshot(
+            name=self.name,
+            type="gauge",
+            help=self.help,
+            buckets=(),
+            series=tuple(sorted(self._series.items())),
+        )
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int) -> None:
+        self.counts = np.zeros(n_buckets, dtype=np.int64)
+        self.sum = 0.0
+        self.count = 0
+
+
+class Histogram:
+    """A labeled fixed-bucket histogram with vectorized bulk observation.
+
+    ``buckets`` are ascending upper bounds (``le`` semantics); an implicit
+    overflow bucket catches everything beyond the last bound.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        buckets: Tuple[float, ...] = LATENCY_BUCKETS_S,
+    ) -> None:
+        if not buckets:
+            raise ServiceError(f"histogram {name} needs at least one bucket")
+        bounds = tuple(float(b) for b in buckets)
+        if any(nxt <= prev for nxt, prev in zip(bounds[1:], bounds)):
+            raise ServiceError(
+                f"histogram {name} buckets must be strictly ascending"
+            )
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self._bounds = np.asarray(bounds, dtype=np.float64)
+        self._series: Dict[LabelPairs, _HistogramSeries] = {}
+
+    def _get(self, labels: Mapping[str, str]) -> _HistogramSeries:
+        key = _canonical(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = _HistogramSeries(self._bounds.size + 1)
+            self._series[key] = series
+        return series
+
+    def observe(self, value: float, **labels: str) -> None:
+        """Fold one observation in."""
+        self.observe_many(np.asarray([value], dtype=np.float64), **labels)
+
+    def observe_many(self, values: np.ndarray, **labels: str) -> None:
+        """Fold a whole array of observations in, vectorized.
+
+        One ``searchsorted`` finds every value's bucket, one ``bincount``
+        accumulates them — equivalent to observing each value singly.
+
+        >>> h = Histogram("lat", "Latency", buckets=(1.0, 2.0))
+        >>> h.observe_many(np.array([0.5, 1.5, 9.0]))
+        >>> h.snapshot().series[0][1].bucket_counts
+        (1, 1, 1)
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return
+        series = self._get(labels)
+        idx = np.searchsorted(self._bounds, values, side="left")
+        series.counts += np.bincount(idx, minlength=self._bounds.size + 1)
+        series.sum += float(values.sum())
+        series.count += int(values.size)
+
+    def value(self, **labels: str) -> HistogramValue:
+        """Current state of one series (all-zero before any observation)."""
+        series = self._series.get(_canonical(labels))
+        if series is None:
+            return HistogramValue(
+                bucket_counts=(0,) * (self._bounds.size + 1), sum=0.0, count=0
+            )
+        return HistogramValue(
+            bucket_counts=tuple(int(c) for c in series.counts),
+            sum=series.sum,
+            count=series.count,
+        )
+
+    def snapshot(self) -> MetricSnapshot:
+        """Freeze every series."""
+        series = tuple(
+            (
+                pairs,
+                HistogramValue(
+                    bucket_counts=tuple(int(c) for c in s.counts),
+                    sum=s.sum,
+                    count=s.count,
+                ),
+            )
+            for pairs, s in sorted(self._series.items(), key=lambda kv: kv[0])
+        )
+        return MetricSnapshot(
+            name=self.name,
+            type="histogram",
+            help=self.help,
+            buckets=self.buckets,
+            series=series,
+        )
+
+
+#: Any of the three metric kinds a registry can own.
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricRegistry:
+    """Owns named metrics; get-or-create accessors keep call sites terse.
+
+    >>> reg = MetricRegistry()
+    >>> reg.counter("batches_total", "Batches flushed").inc()
+    >>> reg.counter("batches_total", "Batches flushed").value()
+    1.0
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _register(self, metric: Metric) -> Metric:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise ServiceError(
+                    f"metric {metric.name!r} already registered as "
+                    f"{type(existing).__name__}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """Get (or create) the counter called ``name``."""
+        metric = self._register(Counter(name, help))
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """Get (or create) the gauge called ``name``."""
+        metric = self._register(Gauge(name, help))
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Tuple[float, ...] = LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        """Get (or create) the histogram called ``name``."""
+        metric = self._register(Histogram(name, help, buckets))
+        assert isinstance(metric, Histogram)
+        return metric
+
+    @property
+    def names(self) -> List[str]:
+        """Registered metric names, in registration order."""
+        return list(self._metrics)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze every metric into an immutable :class:`MetricsSnapshot`."""
+        return MetricsSnapshot(
+            metrics=tuple(m.snapshot() for m in self._metrics.values())
+        )
+
+
+# ----------------------------------------------------------------------
+# Adapters: existing aggregate snapshots re-expressed as metrics
+# ----------------------------------------------------------------------
+def service_stats_metrics(
+    stats: "ServiceStats",
+    *,
+    registry: Optional[MetricRegistry] = None,
+    replica: Optional[int] = None,
+) -> MetricRegistry:
+    """Re-express one :class:`ServiceStats` snapshot as registry metrics.
+
+    ``replica`` adds a ``replica`` label to every series, so per-worker
+    snapshots of a cluster land in the same registry without colliding.
+    """
+    reg = registry if registry is not None else MetricRegistry()
+    labels: Dict[str, str] = {}
+    if replica is not None:
+        labels["replica"] = str(replica)
+    reg.counter(
+        "repro_queries_submitted_total", "Queries submitted to the service"
+    ).inc(stats.queries_submitted, **labels)
+    reg.counter("repro_queries_answered_total", "Queries answered").inc(
+        stats.queries_answered, **labels
+    )
+    reg.counter(
+        "repro_kernel_queries_total", "Queries executed on a backend kernel"
+    ).inc(stats.kernel_queries, **labels)
+    reg.counter("repro_batches_flushed_total", "Batches flushed").inc(
+        stats.batches_flushed, **labels
+    )
+    for trigger, count in sorted(stats.flush_triggers.items()):
+        reg.counter(
+            "repro_flush_trigger_total", "Batches flushed, by trigger"
+        ).inc(count, trigger=trigger, **labels)
+    for backend, count in sorted(stats.backend_choices.items()):
+        reg.counter(
+            "repro_backend_chosen_total", "Batches dispatched, by backend"
+        ).inc(count, backend=backend, **labels)
+    reg.gauge(
+        "repro_latency_p99_seconds", "Modeled p99 end-to-end latency"
+    ).set(stats.latency_p99_s, **labels)
+    reg.gauge(
+        "repro_latency_p50_seconds", "Modeled median end-to-end latency"
+    ).set(stats.latency_p50_s, **labels)
+    reg.gauge(
+        "repro_backend_busy_seconds", "Modeled backend busy time"
+    ).set(stats.busy_time_s, **labels)
+    reg.counter("repro_index_cache_hits_total", "Index-cache hits").inc(
+        stats.cache_hits, **labels
+    )
+    reg.counter("repro_index_cache_misses_total", "Index-cache misses").inc(
+        stats.cache_misses, **labels
+    )
+    reg.counter(
+        "repro_index_cache_evictions_total", "Index-cache evictions"
+    ).inc(stats.cache_evictions, **labels)
+    reg.counter("repro_answer_cache_hits_total", "Answer-cache hits").inc(
+        stats.answer_cache_hits, **labels
+    )
+    reg.counter("repro_answer_cache_misses_total", "Answer-cache misses").inc(
+        stats.answer_cache_misses, **labels
+    )
+    reg.counter("repro_answer_cache_resets_total", "Answer-cache resets").inc(
+        stats.answer_cache_resets, **labels
+    )
+    return reg
+
+
+def cluster_stats_metrics(
+    stats: "ClusterStats", *, registry: Optional[MetricRegistry] = None
+) -> MetricRegistry:
+    """Re-express one :class:`ClusterStats` snapshot as registry metrics.
+
+    Cluster-level series carry no ``replica`` label; every per-worker
+    :class:`ServiceStats` is folded in with its replica id as a label.
+    """
+    reg = registry if registry is not None else MetricRegistry()
+    reg.counter(
+        "repro_cluster_queries_offered_total", "Queries offered to the cluster"
+    ).inc(stats.queries_offered)
+    reg.counter(
+        "repro_cluster_queries_shed_total", "Queries shed by admission control"
+    ).inc(stats.queries_shed)
+    reg.gauge(
+        "repro_cluster_load_imbalance_ratio", "Max/mean answered load"
+    ).set(stats.load_imbalance)
+    reg.gauge(
+        "repro_cluster_latency_p99_seconds", "Modeled cluster p99 latency"
+    ).set(stats.latency_p99_s)
+    for replica, per in enumerate(stats.replicas):
+        service_stats_metrics(per, registry=reg, replica=replica)
+    return reg

@@ -1,0 +1,69 @@
+"""Host wall-clock stage accounting built on ``time.perf_counter``.
+
+Where :mod:`repro.obs.events` records *simulated* time (the modeled
+latencies of the serving stack), :class:`StageTimer` accounts the *host*
+wall clock: how long the Python process actually spent inside named stages
+of a harness run.  The replay harness uses it to split its single
+``serve_wall_s`` total into submit / drain / latencies / verify spans, and
+the overhead benchmark uses the same spans to price tracing itself.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["StageTimer"]
+
+
+class StageTimer:
+    """Accumulates wall-clock seconds into named stages.
+
+    Spans for the same stage accumulate; nesting different stages is fine
+    (each span charges its own stage for its full duration).
+
+    >>> timer = StageTimer()
+    >>> with timer.span("submit"):
+    ...     pass
+    >>> timer.seconds("submit") >= 0.0
+    True
+    >>> timer.seconds("never-entered")
+    0.0
+    """
+
+    def __init__(self) -> None:
+        self._acc: Dict[str, float] = {}
+
+    @contextmanager
+    def span(self, stage: str) -> Iterator[None]:
+        """Context manager charging its wall-clock duration to ``stage``."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self._acc[stage] = self._acc.get(stage, 0.0) + elapsed
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Charge ``seconds`` to ``stage`` directly (pre-measured spans)."""
+        self._acc[stage] = self._acc.get(stage, 0.0) + float(seconds)
+
+    def seconds(self, stage: str) -> float:
+        """Accumulated seconds of one stage (0.0 if never entered)."""
+        return self._acc.get(stage, 0.0)
+
+    @property
+    def stages(self) -> Dict[str, float]:
+        """Copy of the full stage -> seconds mapping."""
+        return dict(self._acc)
+
+    def total(self, *stages: str) -> float:
+        """Sum over the named stages (over every stage when none given)."""
+        if not stages:
+            return sum(self._acc.values())
+        return sum(self._acc.get(s, 0.0) for s in stages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug convenience
+        spans = ", ".join(f"{k}={v:.3g}s" for k, v in self._acc.items())
+        return f"StageTimer({spans})"

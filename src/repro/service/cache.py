@@ -49,7 +49,7 @@ full-hit batches on a dedicated ``"cache"`` backend lane.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, NamedTuple, Tuple
 
 import numpy as np
 
@@ -59,6 +59,7 @@ from ..lca import QueryKernelCost
 
 __all__ = [
     "AnswerCache",
+    "CacheCounters",
     "ANSWER_CACHE_PROBE_COST",
     "BYTES_PER_SLOT",
     "MIN_CACHE_BYTES",
@@ -109,6 +110,15 @@ def answer_cache_probe_time(size: int) -> float:
         )
         _probe_time_memo[size] = cached
     return cached
+
+
+class CacheCounters(NamedTuple):
+    """One consistent snapshot of an :class:`AnswerCache`'s counters."""
+
+    hits: int
+    misses: int
+    insertions: int
+    resets: int
 
 
 def _splitmix64(x: np.ndarray) -> np.ndarray:
@@ -229,6 +239,17 @@ class AnswerCache:
         """Hits over lookups (0.0 before the first lookup)."""
         total = self._hits + self._misses
         return self._hits / total if total else 0.0
+
+    @property
+    def counters(self) -> "CacheCounters":
+        """All four lifetime counters as one immutable record.
+
+        Observability readers (the service's cache-event emission, the
+        metrics adapters) snapshot this before and after an operation and
+        act on the deltas, instead of reading four properties racily.
+        """
+        return CacheCounters(self._hits, self._misses,
+                             self._insertions, self._resets)
 
     # ------------------------------------------------------------------
     # Internals

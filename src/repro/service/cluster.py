@@ -59,6 +59,7 @@ from numpy.typing import ArrayLike
 
 from ..errors import InvalidQueryError, Overloaded, ServiceError
 from ..graphs.trees import validate_parents
+from ..obs.events import EV_SHED, TraceRecorder
 from .cache import MIN_CACHE_BYTES
 from .clock import SimulatedClock
 from .dispatch import CostModelDispatcher
@@ -245,6 +246,7 @@ class ClusterService:
         start_time: float = 0.0,
         dedup: bool = False,
         answer_cache_bytes: Optional[int] = None,
+        observer: Optional[TraceRecorder] = None,
     ) -> None:
         n_replicas = int(n_replicas)
         if n_replicas < 1:
@@ -302,6 +304,30 @@ class ClusterService:
         # there.  Result resolution is then a grouped fancy-indexing gather.
         self._ticket_replica = np.empty(_MIN_TICKET_TABLE, dtype=np.int64)
         self._ticket_local = np.empty(_MIN_TICKET_TABLE, dtype=np.int64)
+        self._observer: Optional[TraceRecorder] = None
+        if observer is not None:
+            self.attach_observer(observer)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def observer(self) -> Optional[TraceRecorder]:
+        """The attached trace recorder, if any."""
+        return self._observer
+
+    def attach_observer(self, observer: Optional[TraceRecorder]) -> None:
+        """Attach one trace recorder to the whole cluster (``None`` detaches).
+
+        Every replica worker emits into the shared recorder with its replica
+        index stamped on each event (so batch ids stay globally unique and
+        traces merge without relabeling); shed decisions — which belong to
+        the cluster front door, not to any worker — are recorded with
+        ``replica=-1``.
+        """
+        self._observer = observer
+        for i, replica in enumerate(self._replicas):
+            replica.attach_observer(observer, replica=i)
 
     # ------------------------------------------------------------------
     # Topology
@@ -478,6 +504,8 @@ class ClusterService:
             pending = self.pending_count()
             if pending + 1 > self._max_pending:
                 self._shed += 1
+                if self._observer is not None:
+                    self._observer.record(EV_SHED, t, replica=-1, detail=1.0)
                 raise Overloaded(
                     f"cluster queue is full (pending={pending}, "
                     f"max_pending={self._max_pending}); 1 query shed",
@@ -562,6 +590,9 @@ class ClusterService:
                 admitted = max(0, free)
                 shed = stop - admitted
                 self._shed += shed
+                if self._observer is not None:
+                    self._observer.record(EV_SHED, float(arrivals[0]),
+                                          replica=-1, detail=float(shed))
                 stop = admitted
                 error = Overloaded(
                     f"cluster queue is full (pending={pending}, "

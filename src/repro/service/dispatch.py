@@ -116,6 +116,7 @@ class CostModelDispatcher:
         # flush; realized batch sizes repeat heavily, so memoizing turns the
         # per-flush decision into one dict probe.
         self._choice_cache: dict = {}
+        self._estimate_cache: dict = {}
 
     def estimate(self, backend: Backend, batch_size: int) -> float:
         """Modeled serving time of one batch on ``backend``."""
@@ -132,6 +133,19 @@ class CostModelDispatcher:
             choice = min(self.estimates(batch_size), key=lambda pair: pair[1])[0]
             self._choice_cache[batch_size] = choice
         return choice
+
+    def choose_with_estimate(self, batch_size: int) -> Tuple[Backend, float]:
+        """:meth:`choose` plus the winner's modeled time, equally memoized.
+
+        The trace layer records the estimate as the dispatcher's *predicted*
+        batch cost, to compare against the time the batch is later charged.
+        """
+        cached = self._estimate_cache.get(batch_size)
+        if cached is None:
+            backend = self.choose(batch_size)
+            cached = (backend, self.estimate(backend, batch_size))
+            self._estimate_cache[batch_size] = cached
+        return cached
 
     def crossover_batch_size(self, *, max_batch: int = 1 << 24) -> Optional[int]:
         """Smallest batch size whose choice differs from the batch-size-1 choice.

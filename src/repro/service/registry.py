@@ -238,6 +238,11 @@ class IndexRegistry:
         self._misses = 0
         self._evictions = 0
         self._build_time_s = 0.0
+        #: Optional observability hook, called as ``hook(event, key, value)``
+        #: with ``("load", key, modeled build seconds)`` after each miss
+        #: build and ``("evict", key, freed bytes)`` after each eviction.
+        #: The service layer wires this to the attached trace recorder.
+        self.event_hook: Optional[Callable[[str, ArtifactKey, float], None]] = None
 
     # ------------------------------------------------------------------
     # Builders
@@ -321,6 +326,8 @@ class IndexRegistry:
         self._cache[key] = entry
         self._bytes_in_use += entry.nbytes
         self._build_time_s += build_time
+        if self.event_hook is not None:
+            self.event_hook("load", key, float(build_time))
         self._evict_over_capacity(keep=key)
         return entry, False
 
@@ -344,6 +351,8 @@ class IndexRegistry:
         if entry is not None:
             self._bytes_in_use -= entry.nbytes
             self._evictions += 1
+            if self.event_hook is not None:
+                self.event_hook("evict", key, float(entry.nbytes))
 
     def clear(self) -> None:
         """Drop every cached artifact (counted as evictions)."""

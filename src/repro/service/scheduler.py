@@ -37,6 +37,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..errors import ServiceError
+from ..obs.events import EV_ENQUEUE, EV_FLUSH, TraceRecorder
 from .clock import SimulatedClock
 
 __all__ = ["BatchPolicy", "PendingQuery", "FlushedBatch", "MicroBatchScheduler"]
@@ -104,6 +105,8 @@ class FlushedBatch:
     arrival_s: np.ndarray
     flush_s: float
     trigger: str
+    #: Trace batch id (from the attached observer); -1 when untraced.
+    batch_id: int = -1
 
     @property
     def size(self) -> int:
@@ -153,7 +156,22 @@ class MicroBatchScheduler:
         self.clock = clock or SimulatedClock()
         self._head = 0
         self._tail = 0
+        self._observer: Optional[TraceRecorder] = None
+        self._obs_replica = 0
         self._allocate(self._initial_capacity())
+
+    def set_observer(self, observer: Optional[TraceRecorder], *,
+                     replica: int = 0) -> None:
+        """Attach (or detach, with ``None``) a trace recorder.
+
+        With an observer attached, every admission emits an ``enqueue``
+        event and every flush a ``flush`` event carrying a fresh batch id
+        (recorded on :attr:`FlushedBatch.batch_id` so downstream layers can
+        correlate their events).  Without one, the hot paths pay a single
+        ``is None`` check.
+        """
+        self._observer = observer
+        self._obs_replica = int(replica)
 
     def _initial_capacity(self) -> int:
         return max(_MIN_BUFFER,
@@ -266,6 +284,9 @@ class MicroBatchScheduler:
         self._ys[i] = y
         self._arrival[i] = t
         self._tail = i + 1
+        if self._observer is not None:
+            self._observer.record(EV_ENQUEUE, t, ticket=int(ticket),
+                                  replica=self._obs_replica)
         if self._tail - self._head >= self.policy.max_batch_size:
             flushed.append(self._flush(t, "size"))
         return flushed
@@ -303,6 +324,11 @@ class MicroBatchScheduler:
             )
         max_batch = self.policy.max_batch_size
         wait = self.policy.max_wait_s
+        if self._observer is not None:
+            # One block event for the whole admission: every query enqueues
+            # at its own arrival time, so chunking adds no information.
+            self._observer.record_block(EV_ENQUEUE, arrival_s, tickets,
+                                        replica=self._obs_replica)
         out: List[FlushedBatch] = []
         p = 0
         while p < count:
@@ -383,6 +409,13 @@ class MicroBatchScheduler:
         take = min(self._tail - self._head, self.policy.max_batch_size)
         h = self._head
         self._head = h + take
+        batch_id = -1
+        if self._observer is not None:
+            batch_id = self._observer.next_batch_id()
+            self._observer.record(
+                EV_FLUSH, float(flush_s), batch=batch_id,
+                replica=self._obs_replica, detail=float(take),
+                aux=self._observer.intern(trigger))
         return FlushedBatch(
             tickets=self._tickets[h:h + take],
             xs=self._xs[h:h + take],
@@ -390,6 +423,7 @@ class MicroBatchScheduler:
             arrival_s=self._arrival[h:h + take],
             flush_s=float(flush_s),
             trigger=trigger,
+            batch_id=batch_id,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience

@@ -51,6 +51,22 @@ from ..device import ExecutionContext
 from ..errors import InvalidQueryError, ServiceError
 from ..graphs.trees import query_bounds_mask
 from ..lca.dedup import PACK_LIMIT, pack_query_pairs, unpack_query_pairs
+from ..obs.events import (
+    EV_ARRIVAL,
+    EV_CACHE_HITS,
+    EV_CACHE_INSERT,
+    EV_CACHE_LANE_HIT,
+    EV_CACHE_MISSES,
+    EV_CACHE_RESET,
+    EV_COMPLETE,
+    EV_DISPATCH,
+    EV_FLUSH,
+    EV_INDEX_EVICT,
+    EV_INDEX_LOAD,
+    EV_KERNEL_END,
+    EV_KERNEL_START,
+    TraceRecorder,
+)
 from .cache import AnswerCache, answer_cache_probe_time
 from .clock import SimulatedClock
 from .dispatch import Backend, CostModelDispatcher
@@ -167,8 +183,11 @@ class LCAQueryService:
                  dedup: bool = False,
                  answer_cache_bytes: Optional[int] = None,
                  answer_cache_seed: int = 0,
-                 ticket_capacity: Optional[int] = None) -> None:
+                 ticket_capacity: Optional[int] = None,
+                 observer: Optional[TraceRecorder] = None) -> None:
         self.clock = clock or SimulatedClock()
+        self._observer: Optional[TraceRecorder] = None
+        self._obs_replica = 0
         self.answer_cache: Optional[AnswerCache] = (
             AnswerCache(int(answer_cache_bytes), seed=answer_cache_seed)
             if answer_cache_bytes is not None else None
@@ -209,14 +228,55 @@ class LCAQueryService:
         for name in self.store.names:
             if self.store.has_tree(name):
                 self._add_scheduler(name)
+        if observer is not None:
+            self.attach_observer(observer)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def observer(self) -> Optional[TraceRecorder]:
+        """The attached trace recorder, if any."""
+        return self._observer
+
+    def attach_observer(self, observer: Optional[TraceRecorder], *,
+                        replica: int = 0) -> None:
+        """Attach (or detach, with ``None``) a lifecycle trace recorder.
+
+        Every layer of the service starts emitting into it: arrivals and
+        completions here, enqueue/flush from each dataset's scheduler,
+        dispatch decisions, cache hits/misses/inserts/resets, and index
+        registry loads/evictions.  ``replica`` stamps every event (the
+        cluster layer assigns each worker its index).  With no observer
+        attached — the default — each hook is one ``is None`` check.
+        """
+        self._observer = observer
+        self._obs_replica = int(replica)
+        for scheduler in self._schedulers.values():
+            scheduler.set_observer(observer, replica=self._obs_replica)
+        self.registry.event_hook = (
+            self._record_index_event if observer is not None else None
+        )
+
+    def _record_index_event(self, event: str, key: ArtifactKey,
+                            value: float) -> None:
+        obs = self._observer
+        if obs is None:  # pragma: no cover - hook detached concurrently
+            return
+        kind = EV_INDEX_LOAD if event == "load" else EV_INDEX_EVICT
+        obs.record(kind, self.clock.now, replica=self._obs_replica,
+                   detail=value,
+                   aux=obs.intern(f"{key.dataset}/{key.variant or key.kind}"))
 
     # ------------------------------------------------------------------
     # Dataset management
     # ------------------------------------------------------------------
     def _add_scheduler(self, name: str) -> None:
         self._dataset_rank[name] = len(self._schedulers)
-        self._schedulers[name] = MicroBatchScheduler(self.policy,
-                                                     clock=self.clock)
+        scheduler = MicroBatchScheduler(self.policy, clock=self.clock)
+        if self._observer is not None:
+            scheduler.set_observer(self._observer, replica=self._obs_replica)
+        self._schedulers[name] = scheduler
 
     def register_tree(self, name: str, parents: Optional[np.ndarray] = None, *,
                       loader: Optional[Callable[[], np.ndarray]] = None,
@@ -307,6 +367,9 @@ class LCAQueryService:
         self._next_ticket += 1
         self._ensure_ticket_capacity(self._next_ticket)
         self.stats_collector.record_submit()
+        if self._observer is not None:
+            self._observer.record(EV_ARRIVAL, t, ticket=ticket,
+                                  replica=self._obs_replica)
         for batch in scheduler.submit(ticket, x, y):
             self._serve(dataset, batch)
         return ticket
@@ -369,6 +432,10 @@ class LCAQueryService:
             self._next_ticket += stop
             self._ensure_ticket_capacity(self._next_ticket)
             self.stats_collector.record_submit(stop)
+            if self._observer is not None:
+                self._observer.record_block(EV_ARRIVAL, arrivals[:stop],
+                                            tickets,
+                                            replica=self._obs_replica)
             handled = (
                 self.answer_cache is not None
                 and self._is_packable(dataset)
@@ -721,7 +788,12 @@ class LCAQueryService:
         keys = pack_query_pairs(xs, ys)
         space = self._dataset_rank[dataset]
         values, found, hits = cache.lookup(space, keys)
+        obs = self._observer
         if hits == 0:
+            if obs is not None:
+                obs.record(EV_CACHE_MISSES, float(arrivals[-1]),
+                           replica=self._obs_replica,
+                           detail=float(tickets.size))
             return False
         t_last = float(arrivals[-1])
         full = hits == int(tickets.size)
@@ -740,6 +812,28 @@ class LCAQueryService:
         completion = start + probe_time
         self._backend_free_s[CACHE_BACKEND_KEY] = completion
         hit_latency = (start - t_last) + probe_one
+        if obs is not None:
+            # The front-door hits form a pseudo-batch on the cache lane:
+            # flush at the probe instant, kernel span for the bulk probe,
+            # one cache_lane_hit completion per answered ticket.
+            obs.record(EV_CACHE_HITS, t_last, replica=self._obs_replica,
+                       detail=float(hits))
+            if not full:
+                obs.record(EV_CACHE_MISSES, t_last,
+                           replica=self._obs_replica,
+                           detail=float(int(tickets.size) - hits))
+            pseudo = obs.next_batch_id()
+            obs.record(EV_FLUSH, t_last, batch=pseudo,
+                       replica=self._obs_replica, detail=float(hits),
+                       aux=obs.intern("hit"))
+            obs.record_span(EV_KERNEL_START, EV_KERNEL_END, start, completion,
+                            batch=pseudo, replica=self._obs_replica,
+                            detail=probe_time,
+                            aux=obs.intern(CACHE_BACKEND_KEY))
+            hit_tickets = tickets if full else tickets[found]
+            obs.record_block(EV_CACHE_LANE_HIT, completion, hit_tickets,
+                             batch=pseudo, replica=self._obs_replica,
+                             detail=hit_latency)
         lo, hi = int(tickets[0]), int(tickets[-1]) + 1
         self._answers[lo:hi] = values
         self._latencies[lo:hi] = hit_latency
@@ -782,7 +876,16 @@ class LCAQueryService:
         if self._dedup and self._is_packable(dataset):
             self._serve_deduped(dataset, batch)
             return
-        backend = self.dispatcher.choose(batch.size)
+        if self._observer is not None:
+            backend, predicted = self.dispatcher.choose_with_estimate(
+                batch.size)
+            self._observer.record(EV_DISPATCH, batch.flush_s,
+                                  batch=batch.batch_id,
+                                  replica=self._obs_replica,
+                                  detail=predicted,
+                                  aux=self._observer.intern(backend.key))
+        else:
+            backend = self.dispatcher.choose(batch.size)
         entry, hit = self.registry.fetch_by_key(
             self._artifact_key(dataset, backend), spec=backend.spec)
         service_time = 0.0 if hit else entry.build_time_s
@@ -804,11 +907,22 @@ class LCAQueryService:
         on the host-side ``"cache"`` lane.
         """
         cache = self.answer_cache
+        obs = self._observer
         keys = pack_query_pairs(batch.xs, batch.ys)
         service_time = answer_cache_probe_time(batch.size)
         if cache is not None:
             space = self._dataset_rank[dataset]
             answers, found, hits = cache.lookup(space, keys)
+            if obs is not None:
+                if hits:
+                    obs.record(EV_CACHE_HITS, batch.flush_s,
+                               batch=batch.batch_id,
+                               replica=self._obs_replica, detail=float(hits))
+                if hits < batch.size:
+                    obs.record(EV_CACHE_MISSES, batch.flush_s,
+                               batch=batch.batch_id,
+                               replica=self._obs_replica,
+                               detail=float(batch.size - hits))
             if hits == batch.size:
                 self._finish_batch(batch, answers, service_time,
                                    CACHE_BACKEND_KEY, 0)
@@ -823,7 +937,14 @@ class LCAQueryService:
             unique_keys, inverse = np.unique(miss_keys, return_inverse=True)
             ux, uy = unpack_query_pairs(unique_keys)
             kernel_queries = int(unique_keys.size)
-            backend = self.dispatcher.choose(kernel_queries)
+            if obs is not None:
+                backend, predicted = self.dispatcher.choose_with_estimate(
+                    kernel_queries)
+                obs.record(EV_DISPATCH, batch.flush_s, batch=batch.batch_id,
+                           replica=self._obs_replica, detail=predicted,
+                           aux=obs.intern(backend.key))
+            else:
+                backend = self.dispatcher.choose(kernel_queries)
             entry, hit = self.registry.fetch_by_key(
                 self._artifact_key(dataset, backend), spec=backend.spec)
             if not hit:
@@ -832,7 +953,17 @@ class LCAQueryService:
             unique_answers = entry.artifact.query(ux, uy, ctx=ctx)
             service_time += ctx.elapsed
             if cache is not None:
+                resets_before = cache.resets
                 cache.insert(space, unique_keys, unique_answers)
+                if obs is not None:
+                    obs.record(EV_CACHE_INSERT, batch.flush_s,
+                               batch=batch.batch_id,
+                               replica=self._obs_replica,
+                               detail=float(kernel_queries))
+                    if cache.resets != resets_before:
+                        obs.record(EV_CACHE_RESET, batch.flush_s,
+                                   replica=self._obs_replica,
+                                   detail=float(cache.resets - resets_before))
                 answers[miss] = unique_answers[inverse]
             else:
                 answers = unique_answers[inverse]
@@ -870,6 +1001,18 @@ class LCAQueryService:
         completion = start + service_time
         self._backend_free_s[backend_key] = completion
         latencies = completion - batch.arrival_s
+        obs = self._observer
+        if obs is not None:
+            lane = obs.intern(backend_key)
+            obs.record_span(EV_KERNEL_START, EV_KERNEL_END, start, completion,
+                            batch=batch.batch_id, replica=self._obs_replica,
+                            detail=service_time, aux=lane)
+            # ``own=True``: batch tickets and the fresh latency array are
+            # never mutated after this point.
+            obs.record_block(EV_COMPLETE, completion, batch.tickets,
+                             batch=batch.batch_id,
+                             replica=self._obs_replica, detail=latencies,
+                             own=True)
         self._store_results(batch.tickets, answers, latencies)
         self.stats_collector.record_batch(
             size=batch.size,

@@ -29,8 +29,7 @@ Two mechanical details make the replay faithful:
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
@@ -38,6 +37,8 @@ import numpy as np
 from ..errors import Overloaded
 from ..graphs.generators import random_attachment_tree
 from ..lca import BinaryLiftingLCA
+from ..obs.events import TraceRecorder, TraceTable
+from ..obs.timers import StageTimer
 from ..service import ClusterService, LCAQueryService
 from ..service.stats import dedup_factor as _dedup_factor
 from ..service.stats import hit_rate as _hit_rate
@@ -77,6 +78,10 @@ class PhaseReport:
     #: attributed to the phase that flushes them; the trailing drain counts
     #: toward the final phase.
     answer_cache_hit_rate: float = 0.0
+    #: Host wall-clock seconds this phase spent inside ``submit_many``
+    #: (a measurement of the harness, not of the modeled outcome — excluded
+    #: from equality so deterministic replays still compare equal).
+    submit_wall_s: float = field(default=0.0, compare=False)
 
 
 @dataclass(frozen=True)
@@ -124,6 +129,16 @@ class ScenarioReport:
     #: drain, latencies) — trace generation excluded.  The skew benchmark
     #: derives its wall-clock throughput from this.
     serve_wall_s: float = 0.0
+    #: Per-stage split of :attr:`serve_wall_s` (``submit_wall_s +
+    #: drain_wall_s + latencies_wall_s == serve_wall_s``); verification
+    #: against the oracle is timed separately and not part of serving.
+    submit_wall_s: float = 0.0
+    drain_wall_s: float = 0.0
+    latencies_wall_s: float = 0.0
+    verify_wall_s: float = 0.0
+    #: The lifecycle trace captured during this replay, when an observer
+    #: was passed to :func:`replay` (``None`` otherwise).
+    trace: Optional[TraceTable] = None
 
     def format(self) -> str:
         """Render the report as an aligned text block."""
@@ -145,6 +160,15 @@ class ScenarioReport:
             f"load imbalance     : {self.load_imbalance:.2f}x",
             f"answer cache       : {self.answer_cache_hit_rate:.1%} hit rate, "
             f"dedup factor {self.dedup_factor:.2f}x",
+        ]
+        if self.serve_wall_s:
+            lines.append(
+                f"host wall          : {self.serve_wall_s * 1e3:.1f} ms "
+                f"serving (submit {self.submit_wall_s * 1e3:.1f} + drain "
+                f"{self.drain_wall_s * 1e3:.1f} + latencies "
+                f"{self.latencies_wall_s * 1e3:.1f})"
+            )
+        lines += [
             "",
             f"{'phase':<12} {'dur ms':>8} {'offered':>9} {'admitted':>9} "
             f"{'shed':>8} {'offered q/s':>12} {'delivered q/s':>14} "
@@ -241,6 +265,7 @@ def replay(
     warm: bool = True,
     check_answers: bool = False,
     seed: Optional[int] = None,
+    observer: Optional[TraceRecorder] = None,
 ) -> ScenarioReport:
     """Feed ``scenario`` to ``target`` in column blocks; report the outcome.
 
@@ -262,6 +287,10 @@ def replay(
     skew benchmark uses this to measure steady-state serving on fresh
     traffic instead of replaying one memorized trace.
 
+    ``observer`` attaches a :class:`~repro.obs.events.TraceRecorder` to the
+    target for the duration of the replay (and leaves it attached); the
+    captured table is returned on :attr:`ScenarioReport.trace`.
+
     >>> from repro.service import LCAQueryService
     >>> from repro.workloads import make_scenario
     >>> svc = LCAQueryService()
@@ -273,6 +302,11 @@ def replay(
     """
     if admission_window_s <= 0:
         raise ValueError("admission_window_s must be positive")
+    if observer is not None:
+        target.attach_observer(observer)
+    else:
+        # A recorder attached before the call still yields a report trace.
+        observer = target.observer
     sizes = _register_sources(target, scenario, warm)
     sources = scenario.sources
     weights = np.array([s.weight for s in sources], dtype=np.float64)
@@ -296,7 +330,8 @@ def replay(
     # hit rate is the delta between boundaries i and i+1.
     cache_marks: List[Tuple[int, int]] = [_answer_cache_counters(target)]
     answered_0, kernel_0 = _dedup_counters(target)
-    serve_wall_s = 0.0
+    timer = StageTimer()
+    phase_submit_wall: List[float] = []
 
     t0 = target.clock.now
     for phase in scenario.phases:
@@ -333,33 +368,33 @@ def replay(
 
         tickets: List[np.ndarray] = []
         shed = 0
+        submit_wall_0 = timer.seconds("submit")
         for a, b in zip(edges[:-1], edges[1:]):
             if b <= a:
                 continue
             dataset = sources[int(assignment[a])].dataset
             before = target.tickets_issued
-            started = time.perf_counter()
             try:
-                block = target.submit_many(dataset, xs[a:b], ys[a:b], at=arrivals[a:b])
-                serve_wall_s += time.perf_counter() - started
+                with timer.span("submit"):
+                    block = target.submit_many(dataset, xs[a:b], ys[a:b],
+                                               at=arrivals[a:b])
                 tickets.append(block)
                 if check_answers:
                     verified_runs.append((dataset, xs[a:b], ys[a:b], block))
             except Overloaded as exc:
-                serve_wall_s += time.perf_counter() - started
                 shed += exc.shed
                 if exc.admitted:
                     tickets.append(
                         np.arange(before, before + exc.admitted, dtype=np.int64)
                     )
+        phase_submit_wall.append(timer.seconds("submit") - submit_wall_0)
         phase_tickets.append(tickets)
         phase_raw.append((phase.name, phase.duration_s, count, shed))
         cache_marks.append(_answer_cache_counters(target))
         t0 += phase.duration_s
 
-    started = time.perf_counter()
-    target.drain()
-    serve_wall_s += time.perf_counter() - started
+    with timer.span("drain"):
+        target.drain()
     # The drain's lookups belong to the final phase's boundary.
     cache_marks[-1] = _answer_cache_counters(target)
     if isinstance(target, ClusterService):
@@ -382,19 +417,20 @@ def replay(
         throughput_qps = service_stats.throughput_qps
 
     if check_answers:
-        by_dataset: Dict[str, List[Tuple[np.ndarray, ...]]] = {}
-        for dataset, bx, by, bt in verified_runs:
-            by_dataset.setdefault(dataset, []).append((bx, by, bt))
-        for dataset, runs in by_dataset.items():
-            vx = np.concatenate([r[0] for r in runs])
-            vy = np.concatenate([r[1] for r in runs])
-            vt = np.concatenate([r[2] for r in runs])
-            oracle = BinaryLiftingLCA(_tree_parents(target, dataset))
-            if not np.array_equal(target.results(vt), oracle.query(vx, vy)):
-                raise AssertionError(
-                    f"replayed answers disagree with the oracle on "
-                    f"{dataset!r} ({scenario.name})"
-                )
+        with timer.span("verify"):
+            by_dataset: Dict[str, List[Tuple[np.ndarray, ...]]] = {}
+            for dataset, bx, by, bt in verified_runs:
+                by_dataset.setdefault(dataset, []).append((bx, by, bt))
+            for dataset, runs in by_dataset.items():
+                vx = np.concatenate([r[0] for r in runs])
+                vy = np.concatenate([r[1] for r in runs])
+                vt = np.concatenate([r[2] for r in runs])
+                oracle = BinaryLiftingLCA(_tree_parents(target, dataset))
+                if not np.array_equal(target.results(vt), oracle.query(vx, vy)):
+                    raise AssertionError(
+                        f"replayed answers disagree with the oracle on "
+                        f"{dataset!r} ({scenario.name})"
+                    )
 
     phases: List[PhaseReport] = []
     all_latencies: List[np.ndarray] = []
@@ -403,9 +439,8 @@ def replay(
     ):
         admitted = int(sum(t.size for t in tickets))
         if admitted:
-            started = time.perf_counter()
-            latencies = target.latencies(np.concatenate(tickets))
-            serve_wall_s += time.perf_counter() - started
+            with timer.span("latencies"):
+                latencies = target.latencies(np.concatenate(tickets))
             all_latencies.append(latencies)
         else:
             latencies = np.empty(0, dtype=np.float64)
@@ -425,6 +460,7 @@ def replay(
                 latency_p50_s=p50,
                 latency_p99_s=p99,
                 answer_cache_hit_rate=_hit_rate(hits1 - hits0, misses1 - misses0),
+                submit_wall_s=phase_submit_wall[index],
             )
         )
 
@@ -461,5 +497,10 @@ def replay(
         ),
         dedup_factor=_dedup_factor(answered_1 - answered_0,
                                    kernel_1 - kernel_0),
-        serve_wall_s=serve_wall_s,
+        serve_wall_s=timer.total("submit", "drain", "latencies"),
+        submit_wall_s=timer.seconds("submit"),
+        drain_wall_s=timer.seconds("drain"),
+        latencies_wall_s=timer.seconds("latencies"),
+        verify_wall_s=timer.seconds("verify"),
+        trace=observer.table() if observer is not None else None,
     )
