@@ -11,10 +11,12 @@ the fresh JSON against the committed baseline with a per-metric tolerance::
         --check headline.scaling_1_to_max:0.90
 
 Each ``--check PATH:MIN_RATIO`` asserts ``current >= MIN_RATIO * baseline``
-for the numeric value at the dotted ``PATH`` (higher is better for every
-gated metric).  Modeled-time metrics are bit-deterministic, so their ratio
-tolerances can sit near 1.0; host wall-clock ratios (e.g. the columnar
-speedup) get looser bounds to absorb runner noise.
+for the numeric value at the dotted ``PATH`` (higher is better); each
+``--check-max PATH:MAX_RATIO`` asserts ``current <= MAX_RATIO * baseline``
+(lower is better — tail latencies, shed rates).  Modeled-time metrics are
+bit-deterministic, so their ratio tolerances can sit near 1.0; host
+wall-clock ratios (e.g. the columnar speedup) get looser bounds to absorb
+runner noise.
 
 Exits non-zero if any metric regresses past its tolerance, printing a
 verdict table either way.
@@ -58,12 +60,23 @@ def main(argv=None) -> int:
         "--check",
         type=parse_check,
         action="append",
-        required=True,
+        default=[],
         metavar="PATH:MIN_RATIO",
         help="assert current >= MIN_RATIO * baseline at dotted PATH "
         "(repeatable)",
     )
+    parser.add_argument(
+        "--check-max",
+        type=parse_check,
+        action="append",
+        default=[],
+        metavar="PATH:MAX_RATIO",
+        help="assert current <= MAX_RATIO * baseline at dotted PATH "
+        "(repeatable; for lower-is-better metrics)",
+    )
     args = parser.parse_args(argv)
+    if not args.check and not args.check_max:
+        parser.error("at least one --check or --check-max is required")
 
     current = json.loads(args.current.read_text(encoding="utf-8"))
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
@@ -71,24 +84,29 @@ def main(argv=None) -> int:
     failures: List[str] = []
     print(
         f"{'metric':<40} {'baseline':>14} {'current':>14} {'ratio':>7} "
-        f"{'floor':>7}  verdict"
+        f"{'bound':>7}  verdict"
     )
-    for path, min_ratio in args.check:
+    checks = [(path, ratio, False) for path, ratio in args.check] + [
+        (path, ratio, True) for path, ratio in args.check_max
+    ]
+    for path, bound, is_max in checks:
         base = resolve(baseline, path)
         cur = resolve(current, path)
         if base <= 0:
             failures.append(f"{path}: baseline value {base} is not positive")
             continue
         ratio = cur / base
-        ok = ratio >= min_ratio
+        ok = ratio <= bound if is_max else ratio >= bound
         verdict = "ok" if ok else "REGRESSION"
+        sign = "<=" if is_max else ">="
         print(
             f"{path:<40} {base:>14,.4g} {cur:>14,.4g} {ratio:>7.3f} "
-            f"{min_ratio:>7.3f}  {verdict}"
+            f"{sign}{bound:>5.3f}  {verdict}"
         )
         if not ok:
+            side = "above" if is_max else "below"
             failures.append(
-                f"{path}: {cur:,.4g} is below {min_ratio:.2f}x baseline "
+                f"{path}: {cur:,.4g} is {side} {bound:.2f}x baseline "
                 f"{base:,.4g} (ratio {ratio:.3f})"
             )
     if failures:

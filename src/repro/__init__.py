@@ -69,6 +69,7 @@ from .errors import (
     InvalidQueryError,
     NotATreeError,
     Overloaded,
+    ReplicaDown,
     ReproError,
     ServiceError,
 )
@@ -88,6 +89,8 @@ from .service import (
     ClusterService,
     ClusterStats,
     CostModelDispatcher,
+    FaultEvent,
+    FaultInjector,
     ForestStore,
     IndexRegistry,
     LCAQueryService,
@@ -95,14 +98,18 @@ from .service import (
     ServiceStats,
 )
 from .workloads import (
+    ChaosScenario,
     QueryPoolKeys,
+    RetryPolicy,
     Scenario,
     ScenarioReport,
+    make_chaos_scenario,
     make_scenario,
     replay,
+    replay_chaos,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",
@@ -152,12 +159,19 @@ __all__ = [
     "ClusterService",
     "ClusterStats",
     "Router",
+    # fault tolerance + elasticity
+    "FaultEvent",
+    "FaultInjector",
     # workload scenarios
     "Scenario",
     "ScenarioReport",
     "QueryPoolKeys",
+    "RetryPolicy",
     "make_scenario",
     "replay",
+    "ChaosScenario",
+    "make_chaos_scenario",
+    "replay_chaos",
     # observability
     "TraceRecorder",
     "TraceTable",
@@ -172,4 +186,5 @@ __all__ = [
     "ConfigurationError",
     "ServiceError",
     "Overloaded",
+    "ReplicaDown",
 ]

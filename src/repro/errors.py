@@ -85,3 +85,32 @@ class Overloaded(ServiceError):
         self.capacity = capacity
         self.admitted = admitted
         self.shed = shed
+
+
+class ReplicaDown(ServiceError):
+    """Raised when no live replica can serve (or finish serving) a query.
+
+    A :class:`~repro.service.cluster.ClusterService` raises this in two
+    situations: a submission targets a dataset whose every placed copy is
+    currently dead, or recovery gives up on already-admitted queries — the
+    per-query retry cap was exhausted, or ``drain()`` found queries still
+    parked with no surviving copy.  Admitted queries are never silently
+    dropped; this exception is the loud alternative.
+
+    ``dataset``
+        The dataset whose copies were unavailable (``None`` when several
+        datasets are affected).
+    ``queries``
+        How many queries could not be (re)placed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        dataset: str | None = None,
+        queries: int = 0,
+    ) -> None:
+        super().__init__(message)
+        self.dataset = dataset
+        self.queries = queries

@@ -69,6 +69,10 @@ __all__ = [
     "EV_INDEX_LOAD",
     "EV_INDEX_EVICT",
     "EV_SHED",
+    "EV_FAULT",
+    "EV_RETRY",
+    "EV_HEDGE",
+    "EV_MEMBERSHIP",
     "EVENT_NAMES",
     "TraceRecorder",
     "TraceTable",
@@ -114,6 +118,19 @@ EV_INDEX_EVICT = 13
 #: Admission control shed queries.  ``detail`` = shed count,
 #: ``replica`` = -1 (a cluster-level event).
 EV_SHED = 14
+#: A fault-schedule event was applied.  ``replica`` = target (-1 for "add"),
+#: ``detail`` = factor (slowdown) or count (transient), ``aux`` = action.
+EV_FAULT = 15
+#: Queries were re-dispatched to a surviving copy after a replica failure.
+#: ``replica`` = new target, ``detail`` = query count, ``aux`` = dataset.
+EV_RETRY = 16
+#: A straggling batch was hedged to a second copy.  ``replica`` = hedge
+#: target, ``batch`` = the straggler's batch id, ``detail`` = the hedge's
+#: modeled service seconds, ``aux`` = 1 if the hedge won else 0.
+EV_HEDGE = 17
+#: Cluster membership changed.  ``replica`` = the replica added/retired,
+#: ``detail`` = live replica count afterwards, ``aux`` = action.
+EV_MEMBERSHIP = 18
 
 #: Event-kind code -> stable short name (JSONL and report rendering).
 EVENT_NAMES: Tuple[str, ...] = (
@@ -132,6 +149,10 @@ EVENT_NAMES: Tuple[str, ...] = (
     "index_load",
     "index_evict",
     "shed",
+    "fault",
+    "retry",
+    "hedge",
+    "membership",
 )
 
 #: Kinds that carry a real ticket (and are therefore subject to sampling).

@@ -30,9 +30,13 @@ from typing import Any, Dict, Iterable, List, Sequence
 from .events import (
     EV_CACHE_RESET,
     EV_DISPATCH,
+    EV_FAULT,
     EV_FLUSH,
+    EV_HEDGE,
     EV_KERNEL_END,
     EV_KERNEL_START,
+    EV_MEMBERSHIP,
+    EV_RETRY,
     EV_SHED,
     TraceTable,
     kind_name,
@@ -143,7 +147,8 @@ def chrome_trace_events(table: TraceTable) -> List[Dict[str, Any]]:
     Layout: one *process* per replica, two *threads* per backend lane —
     ``<lane>`` carries the kernel spans (flush → start → end pairing from
     the batch events), ``<lane> queue`` the time each batch spent waiting
-    for its lane.  Shed and cache-reset events render as instants.
+    for its lane.  Shed, cache-reset, fault, retry, hedge and membership
+    events render as instants.
     """
     events: List[Dict[str, Any]] = []
     # Join the per-batch lifecycle events on the batch id.
@@ -218,7 +223,9 @@ def chrome_trace_events(table: TraceTable) -> List[Dict[str, Any]]:
         if lane not in lanes:
             lanes.append(lane)
 
-    instants = table.of_kind(EV_SHED, EV_CACHE_RESET)
+    instants = table.of_kind(
+        EV_SHED, EV_CACHE_RESET, EV_FAULT, EV_RETRY, EV_HEDGE, EV_MEMBERSHIP
+    )
     for i in range(instants.n_events):
         kind = int(instants.kind[i])
         events.append(

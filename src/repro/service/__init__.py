@@ -36,10 +36,17 @@ bulk; this subpackage turns that observation into a serving architecture:
   (:class:`~repro.service.routing.Router` policies), cluster-wide admission
   control raising the typed :class:`~repro.errors.Overloaded` error, and
   :class:`~repro.service.cluster.ClusterStats` aggregation with exact merged
-  latency percentiles and a load-imbalance metric.
+  latency percentiles and a load-imbalance metric;
+* :class:`~repro.service.faults.FaultInjector` — deterministic, scheduled
+  fault injection (replica kills, recoveries, slowdowns, transient batch
+  failures, live membership changes) on the shared simulated clock.  The
+  cluster retries stranded work onto surviving copies with exact latency
+  accounting, optionally hedges straggling batches (``hedge_delay_s=``),
+  and raises the typed :class:`~repro.errors.ReplicaDown` when no copy
+  survives — no admitted query is ever silently lost.
 """
 
-from ..errors import Overloaded
+from ..errors import Overloaded, ReplicaDown
 from .cache import (
     ANSWER_CACHE_PROBE_COST,
     AnswerCache,
@@ -55,6 +62,7 @@ from .dispatch import (
     CostModelDispatcher,
     estimate_batch_query_time,
 )
+from .faults import FAULT_ACTIONS, FaultEvent, FaultInjector
 from .registry import (
     ARTIFACT_KINDS,
     ArtifactKey,
@@ -115,4 +123,9 @@ __all__ = [
     "ROUTER_POLICIES",
     "make_router",
     "stable_hash",
+    # fault tolerance + elasticity
+    "FaultInjector",
+    "FaultEvent",
+    "FAULT_ACTIONS",
+    "ReplicaDown",
 ]

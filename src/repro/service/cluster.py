@@ -20,7 +20,18 @@ node cannot provide:
   Submissions past the bound are rejected with the typed
   :class:`~repro.errors.Overloaded` error and counted into the cluster's
   shed rate, so overload is an explicit, observable contract instead of an
-  unbounded queue.
+  unbounded queue;
+* **fault tolerance + elasticity** — an optional seeded
+  :class:`~repro.service.faults.FaultInjector` drives replica kills,
+  recoveries, slowdowns and transient batch failures at exact simulated
+  instants.  Batches stranded on a failed replica are re-dispatched to a
+  surviving copy (capped retries; the typed
+  :class:`~repro.errors.ReplicaDown` fires when no copy survives), so no
+  admitted query is ever silently lost.  A configurable ``hedge_delay_s``
+  re-issues straggling batches to a second copy and takes the first
+  completion.  :meth:`ClusterService.add_replica` and
+  :meth:`ClusterService.retire_replica` grow and shrink the cluster live,
+  with consistent-hash re-placement and drain-before-retire semantics.
 
 Time: every worker runs on its own :class:`SimulatedClock` cursor along the
 *same* simulated time axis; the cluster's own clock is the frontier (the
@@ -51,20 +62,30 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
+    Union,
 )
 
 import numpy as np
 from numpy.typing import ArrayLike
 
-from ..errors import InvalidQueryError, Overloaded, ServiceError
+from ..errors import InvalidQueryError, Overloaded, ReplicaDown, ServiceError
 from ..graphs.trees import validate_parents
-from ..obs.events import EV_SHED, TraceRecorder
+from ..obs.events import (
+    EV_FAULT,
+    EV_HEDGE,
+    EV_MEMBERSHIP,
+    EV_RETRY,
+    EV_SHED,
+    TraceRecorder,
+)
 from .cache import MIN_CACHE_BYTES
 from .clock import SimulatedClock
 from .dispatch import CostModelDispatcher
+from .faults import FaultEvent, FaultInjector
 from .routing import HashRing, LeastOutstandingRouter, Router
-from .scheduler import BatchPolicy
+from .scheduler import BatchPolicy, FlushedBatch
 from .service import LCAQueryService, block_clean_prefix
 from .stats import ServiceStats, dedup_factor, grow_table, hit_rate
 
@@ -149,6 +170,22 @@ class ClusterStats:
     load_imbalance: float
     #: Per-worker snapshots, in replica-id order.
     replicas: Tuple[ServiceStats, ...]
+    #: Fault-tolerance accounting — all zero on a fault-free, hedge-free run.
+    #: ``queries_retried`` counts re-dispatches of admitted queries after a
+    #: replica kill or transient batch failure (a query retried twice counts
+    #: twice); retried queries are *not* double-counted in
+    #: ``queries_submitted``.
+    queries_retried: int = 0
+    #: Hedged duplicate dispatches issued, and how many finished before the
+    #: original (and therefore set the query's completion time).
+    hedges_issued: int = 0
+    hedges_won: int = 0
+    #: Fault-injector events applied (kills, recoveries, slowdowns,
+    #: transients, membership changes driven by the schedule).
+    faults_injected: int = 0
+    #: Live topology changes (:meth:`ClusterService.add_replica` /
+    #: :meth:`ClusterService.retire_replica`), however triggered.
+    membership_events: int = 0
 
     @property
     def throughput_qps(self) -> float:
@@ -182,6 +219,18 @@ class ClusterStats:
             f"per-replica load   : [{answered}] "
             f"(imbalance {self.load_imbalance:.2f}x)",
         ]
+        if (
+            self.faults_injected
+            or self.queries_retried
+            or self.hedges_issued
+            or self.membership_events
+        ):
+            lines.append(
+                f"fault tolerance    : {self.faults_injected} faults applied, "
+                f"{self.queries_retried} queries retried, "
+                f"{self.hedges_won}/{self.hedges_issued} hedges won, "
+                f"{self.membership_events} membership changes"
+            )
         return "\n".join(lines)
 
 
@@ -219,6 +268,21 @@ class ClusterService:
         as shed.  ``None`` disables admission control.
     start_time:
         Initial simulated time for the cluster and every worker clock.
+    fault_injector:
+        Optional :class:`~repro.service.faults.FaultInjector` whose
+        schedule is applied as simulated time passes.  A cluster with an
+        *empty* injector behaves bit-identically to one with ``None`` —
+        all liveness state lives here, the injector only carries the
+        schedule.
+    hedge_delay_s:
+        Enable hedged dispatch: a batch whose queueing delay on its lane
+        exceeds this many simulated seconds is re-issued to another live
+        copy and the earlier completion wins.  Derive it from a fault-free
+        p99 for the classic tail-cutting policy.  ``None`` (default)
+        disables hedging.
+    max_retries:
+        Per-query cap on failover re-dispatches before
+        :class:`~repro.errors.ReplicaDown` is raised.
 
     Usage
     -----
@@ -247,12 +311,19 @@ class ClusterService:
         dedup: bool = False,
         answer_cache_bytes: Optional[int] = None,
         observer: Optional[TraceRecorder] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        hedge_delay_s: Optional[float] = None,
+        max_retries: int = 3,
     ) -> None:
         n_replicas = int(n_replicas)
         if n_replicas < 1:
             raise ServiceError("a cluster needs at least one replica")
         if max_pending is not None and int(max_pending) < 1:
             raise ServiceError("max_pending must be positive (or None)")
+        if hedge_delay_s is not None and float(hedge_delay_s) <= 0:
+            raise ServiceError("hedge_delay_s must be positive (or None)")
+        if int(max_retries) < 1:
+            raise ServiceError("max_retries must be at least 1")
         self.router: Router = router if router is not None else LeastOutstandingRouter()
         self.ring = HashRing(range(n_replicas))
         self.clock = SimulatedClock(start_time)
@@ -304,6 +375,38 @@ class ClusterService:
         # there.  Result resolution is then a grouped fancy-indexing gather.
         self._ticket_replica = np.empty(_MIN_TICKET_TABLE, dtype=np.int64)
         self._ticket_local = np.empty(_MIN_TICKET_TABLE, dtype=np.int64)
+        # Fault tolerance + elasticity.  The worker construction parameters
+        # are kept so add_replica() can mint identically-budgeted workers;
+        # per-replica byte slices are fixed at construction and are not
+        # re-split when the cluster grows or shrinks.
+        self.fault_injector = fault_injector
+        self._hedge_delay_s = None if hedge_delay_s is None else float(hedge_delay_s)
+        self._max_retries = int(max_retries)
+        self._batch_policy = policy
+        self._dispatcher_factory = factory
+        self._slice_bytes = slice_bytes
+        self._cache_slice = cache_slice
+        self._dedup = dedup
+        self._alive: List[bool] = [True] * n_replicas
+        self._retired: List[bool] = [False] * n_replicas
+        self._all_alive = True
+        self._transient: List[int] = [0] * n_replicas
+        self._failed: List[Tuple[int, str, FlushedBatch, np.ndarray]] = []
+        self._parked: List[
+            Tuple[str, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = []
+        self._retry_counts: Optional[np.ndarray] = None
+        self._resubmitted = 0
+        self._retried = 0
+        self._hedges_issued = 0
+        self._hedges_won = 0
+        self._faults_applied = 0
+        self._membership_events = 0
+        self._tree_sources: Dict[str, Union[np.ndarray, _SharedLoader]] = {}
+        self._tree_replicas: Dict[str, Optional[int]] = {}
+        self._registered: Dict[str, Set[int]] = {}
+        for i, worker in enumerate(self._replicas):
+            self._install_hooks(i, worker)
         self._observer: Optional[TraceRecorder] = None
         if observer is not None:
             self.attach_observer(observer)
@@ -340,6 +443,24 @@ class ClusterService:
         4
         """
         return len(self._replicas)
+
+    @property
+    def n_active(self) -> int:
+        """Replicas not yet retired (alive or temporarily killed).
+
+        >>> ClusterService(4).n_active
+        4
+        """
+        return sum(1 for retired in self._retired if not retired)
+
+    @property
+    def n_live(self) -> int:
+        """Replicas currently able to serve (active and not killed).
+
+        >>> ClusterService(4).n_live
+        4
+        """
+        return sum(1 for alive in self._alive if alive)
 
     @property
     def replicas(self) -> Tuple[LCAQueryService, ...]:
@@ -432,12 +553,16 @@ class ClusterService:
                     f"replica ids {bad} out of range for a "
                     f"{self.n_replicas}-replica cluster"
                 )
+            gone = [i for i in copies if self._retired[i]]
+            if gone:
+                raise ServiceError(f"replica ids {gone} are retired")
         else:
-            if not 1 <= int(replicas) <= self.n_replicas:
+            if not 1 <= int(replicas) <= self.n_active:
                 raise ServiceError(
-                    f"replicas must be in [1, {self.n_replicas}], got {replicas}"
+                    f"replicas must be in [1, {self.n_active}], got {replicas}"
                 )
             copies = tuple(self.ring.place(name, int(replicas)))
+        source: Union[np.ndarray, _SharedLoader]
         if parents is not None:
             parents = np.asarray(parents, dtype=np.int64)
             if validate:
@@ -445,13 +570,126 @@ class ClusterService:
             for c in copies:
                 self._replicas[c].register_tree(name, parents)
             self._sizes[name] = int(parents.size)
+            source = parents
         else:
             shared = _SharedLoader(loader, validate)  # type: ignore[arg-type]
             for c in copies:
                 self._replicas[c].register_tree(name, loader=shared)
             self._sizes[name] = None
+            source = shared
         self._placement[name] = copies
+        self._tree_sources[name] = source
+        self._tree_replicas[name] = None if on is not None else int(replicas)
+        self._registered[name] = set(copies)
         return copies
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+    def add_replica(self) -> int:
+        """Scale out: add one replica worker live; returns its replica id.
+
+        The newcomer joins the consistent-hash ring at the cluster's
+        current simulated time, ring-placed datasets are re-placed (only
+        keys landing on the new arcs move, and displaced copies stay
+        registered as warm spares), and any queries parked with no live
+        copy are re-dispatched to it.  Index artifacts are *not* shipped:
+        the new owner's :class:`~repro.service.registry.IndexRegistry`
+        rebuilds them lazily on first use, exactly like a cold start.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]), replicas=2)
+        >>> cluster.add_replica()
+        2
+        >>> cluster.n_replicas, cluster.n_live
+        (3, 3)
+        """
+        rid = len(self._replicas)
+        worker = LCAQueryService(
+            policy=self._batch_policy,
+            dispatcher=self._dispatcher_factory(),
+            capacity_bytes=self._slice_bytes,
+            clock=SimulatedClock(self.clock.now),
+            dedup=self._dedup,
+            answer_cache_bytes=self._cache_slice,
+        )
+        self._replicas = self._replicas + (worker,)
+        self._alive.append(True)
+        self._retired.append(False)
+        self._transient.append(0)
+        if self._observer is not None:
+            worker.attach_observer(self._observer, replica=rid)
+        self._install_hooks(rid, worker)
+        self.ring.add(rid)
+        self._replace_ring_datasets()
+        self._refresh_all_alive()
+        self._membership_events += 1
+        if self._observer is not None:
+            self._observer.record(
+                EV_MEMBERSHIP,
+                self.clock.now,
+                replica=rid,
+                detail=float(self.n_live),
+                aux=self._observer.intern("add"),
+            )
+        self._drain_parked(self.clock.now)
+        self._drain_failed()
+        return rid
+
+    def retire_replica(self, replica: int) -> None:
+        """Scale in: drain a replica, remove it from routing, retire it.
+
+        Drain-before-retire: an alive replica first serves everything it
+        still queues (at the cluster frontier), so retirement never loses
+        an admitted query; a killed replica's queue was already evicted and
+        failed over at kill time.  The replica then leaves the hash ring,
+        ring-placed datasets are re-placed onto the survivors, and pinned
+        placements drop the retiree.  Replica ids are never reused, so old
+        tickets stay resolvable against the retired worker's results.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(3)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]), replicas=2)
+        >>> cluster.retire_replica(cluster.placement("t")[0])
+        >>> cluster.n_active
+        2
+        """
+        r = int(replica)
+        if not 0 <= r < len(self._replicas):
+            raise ServiceError(f"unknown replica {replica}")
+        if self._retired[r]:
+            raise ServiceError(f"replica {r} is already retired")
+        if self.n_active == 1:
+            raise ServiceError("cannot retire the last active replica")
+        for name, copies in self._placement.items():
+            if self._tree_replicas[name] is None and copies == (r,):
+                raise ServiceError(
+                    f"cannot retire replica {r}: it holds the only copy of "
+                    f"pinned dataset {name!r}"
+                )
+        worker = self._replicas[r]
+        if self._alive[r]:
+            worker.sync_to(self.clock.now)
+            worker.drain()
+            self._drain_failed()
+        self.ring.remove(r)
+        self._retired[r] = True
+        self._alive[r] = False
+        for name, copies in list(self._placement.items()):
+            if self._tree_replicas[name] is None and r in copies:
+                self._placement[name] = tuple(c for c in copies if c != r)
+        self._replace_ring_datasets()
+        self._refresh_all_alive()
+        self._membership_events += 1
+        if self._observer is not None:
+            self._observer.record(
+                EV_MEMBERSHIP,
+                self.clock.now,
+                replica=r,
+                detail=float(self.n_live),
+                aux=self._observer.intern("retire"),
+            )
 
     # ------------------------------------------------------------------
     # Query path
@@ -493,6 +731,9 @@ class ClusterService:
                 f"cannot move the clock backwards (now={self.clock.now}, "
                 f"requested={t})"
             )
+        if self.fault_injector is not None:
+            self._apply_faults(t)
+            copies = self._copies(dataset)
         for replica in self._replicas:
             replica.advance_to(t, joining=dataset)
         # The arrival moved observable time even if the query ends up shed:
@@ -500,6 +741,16 @@ class ClusterService:
         # in sync, so a drain() or a later legally-timestamped submission
         # after an Overloaded rejection still works.
         self.clock.advance_to(t)
+        if not self._all_alive:
+            live = self._live(copies)
+            if not live:
+                raise ReplicaDown(
+                    f"all {len(copies)} copies of dataset {dataset!r} are "
+                    f"down",
+                    dataset=dataset,
+                    queries=1,
+                )
+            copies = live
         if self._max_pending is not None:
             pending = self.pending_count()
             if pending + 1 > self._max_pending:
@@ -521,6 +772,7 @@ class ClusterService:
         self._ensure_ticket_capacity(self._next_ticket)
         self._ticket_replica[ticket] = target
         self._ticket_local[ticket] = local
+        self._drain_failed()
         return ticket
 
     def submit_many(
@@ -578,11 +830,24 @@ class ClusterService:
         )
 
         if stop:
+            if self.fault_injector is not None:
+                self._apply_faults(float(arrivals[0]))
+                copies = self._copies(dataset)
             for replica in self._replicas:
                 replica.advance_to(float(arrivals[0]), joining=dataset)
             # Keep the cluster frontier in sync with the workers even if the
             # whole block is subsequently shed by admission control.
             self.clock.advance_to(float(arrivals[0]))
+            if not self._all_alive:
+                live = self._live(copies)
+                if not live:
+                    raise ReplicaDown(
+                        f"all {len(copies)} copies of dataset {dataset!r} "
+                        f"are down",
+                        dataset=dataset,
+                        queries=int(stop),
+                    )
+                copies = live
         if self._max_pending is not None and stop:
             pending = self.pending_count()
             free = self._max_pending - pending
@@ -624,6 +889,7 @@ class ClusterService:
                 self._ticket_replica[tickets[sel]] = int(target)
                 self._ticket_local[tickets[sel]] = local
             self.clock.advance_to(float(arrivals[stop - 1]))
+            self._drain_failed()
         if error is not None:
             raise error
         return tickets
@@ -662,9 +928,11 @@ class ClusterService:
         >>> cluster.result(ticket)
         0
         """
+        self._apply_faults(float(t))
         t = self.clock.advance_to(float(t))
         for replica in self._replicas:
             replica.advance_to(t)
+        self._drain_failed()
 
     def drain(self) -> None:
         """Flush and serve everything still queued, on every replica.
@@ -682,10 +950,25 @@ class ClusterService:
         >>> cluster.pending_count()
         0
         """
-        for replica in self._replicas:
-            replica.sync_to(self.clock.now)
-        for replica in self._replicas:
-            replica.drain()
+        self._apply_faults(self.clock.now)
+        while True:
+            for replica in self._replicas:
+                replica.sync_to(self.clock.now)
+            for replica in self._replicas:
+                replica.drain()
+            self._drain_failed()
+            if self.pending_count() == 0:
+                break
+        if self._parked:
+            stranded = sum(int(t.size) for _, t, _, _, _ in self._parked)
+            datasets = sorted({entry[0] for entry in self._parked})
+            raise ReplicaDown(
+                f"{stranded} admitted queries are stranded with no live copy "
+                f"of {datasets}; recover a replica or add_replica(), then "
+                f"drain() again",
+                dataset=datasets[0],
+                queries=stranded,
+            )
 
     def pending_count(self, dataset: Optional[str] = None) -> int:
         """Queries currently queued (for one dataset, or cluster-wide).
@@ -826,7 +1109,9 @@ class ClusterService:
         answered = tuple(s.queries_answered for s in per)
         mean_load = sum(answered) / len(answered)
         imbalance = max(answered) / mean_load if mean_load > 0 else 0.0
-        submitted = sum(s.queries_submitted for s in per)
+        # A retried query was admitted into a worker more than once; count
+        # it once at the cluster front door.
+        submitted = sum(s.queries_submitted for s in per) - self._resubmitted
         offered = submitted + self._shed
         hits = sum(s.cache_hits for s in per)
         misses = sum(s.cache_misses for s in per)
@@ -859,6 +1144,11 @@ class ClusterService:
             per_replica_answered=answered,
             load_imbalance=imbalance,
             replicas=per,
+            queries_retried=self._retried,
+            hedges_issued=self._hedges_issued,
+            hedges_won=self._hedges_won,
+            faults_injected=self._faults_applied,
+            membership_events=self._membership_events,
         )
 
     # ------------------------------------------------------------------
@@ -893,6 +1183,10 @@ class ClusterService:
         used = self._ticket_replica.size
         self._ticket_replica = grow_table(self._ticket_replica, used, needed)
         self._ticket_local = grow_table(self._ticket_local, used, needed)
+        if self._retry_counts is not None:
+            counts = np.zeros(self._ticket_replica.size, dtype=np.int64)
+            counts[:used] = self._retry_counts
+            self._retry_counts = counts
 
     def _by_replica(self, idx: np.ndarray) -> Iterator[Tuple[int, np.ndarray]]:
         """Group positions of ``idx`` by owning replica (ascending id)."""
@@ -917,6 +1211,303 @@ class ClusterService:
                 f"ticket {idx[int(queued.argmax())]} is still queued; "
                 f"advance time or drain()"
             )
+
+    # ------------------------------------------------------------------
+    # Fault tolerance internals
+    # ------------------------------------------------------------------
+    def _install_hooks(self, replica: int, worker: LCAQueryService) -> None:
+        """Wire the worker's fault hooks; inert unless features are on."""
+        if self.fault_injector is not None:
+            worker.set_serve_interceptor(self._make_interceptor(replica))
+        if self._hedge_delay_s is not None:
+            worker.set_hedge_hook(self._make_hedge_hook(replica))
+
+    def _make_interceptor(
+        self, replica: int
+    ) -> Callable[[str, FlushedBatch], bool]:
+        def intercept(dataset: str, batch: FlushedBatch) -> bool:
+            if self._alive[replica]:
+                if self._transient[replica] <= 0:
+                    return False
+                self._transient[replica] -= 1
+            debt = self._replicas[replica].debt_of(batch.tickets)
+            self._failed.append((replica, dataset, batch, debt))
+            return True
+
+        return intercept
+
+    def _make_hedge_hook(
+        self, replica: int
+    ) -> Callable[[str, FlushedBatch, float], Optional[float]]:
+        def hedge(
+            dataset: str, batch: FlushedBatch, completion_s: float
+        ) -> Optional[float]:
+            return self._hedge(replica, dataset, batch, completion_s)
+
+        return hedge
+
+    def _hedge(
+        self,
+        source: int,
+        dataset: str,
+        batch: FlushedBatch,
+        completion_s: float,
+    ) -> Optional[float]:
+        """Duplicate a straggling batch onto another live copy; first wins."""
+        delay = self._hedge_delay_s
+        if delay is None or completion_s - batch.flush_s <= delay:
+            return None
+        copies = tuple(
+            c for c in self._copies(dataset) if c != source and self._alive[c]
+        )
+        if not copies:
+            return None
+        target = self.router.route_one(dataset, copies, self._outstanding(copies))
+        issue_s = batch.flush_s + delay
+        alt = self._replicas[target].serve_hedge(
+            dataset, batch.xs, batch.ys, issue_s=issue_s
+        )
+        self._hedges_issued += 1
+        won = alt < completion_s
+        if won:
+            self._hedges_won += 1
+        if self._observer is not None:
+            self._observer.record(
+                EV_HEDGE,
+                issue_s,
+                batch=batch.batch_id,
+                replica=target,
+                detail=alt - issue_s,
+                aux=self._observer.intern("won" if won else "lost"),
+            )
+        return alt if won else None
+
+    def _live(self, copies: Tuple[int, ...]) -> Tuple[int, ...]:
+        if self._all_alive:
+            return copies
+        return tuple(c for c in copies if self._alive[c])
+
+    def _refresh_all_alive(self) -> None:
+        self._all_alive = all(
+            self._alive[i] or self._retired[i]
+            for i in range(len(self._replicas))
+        )
+
+    def _apply_faults(self, upto_s: float) -> None:
+        """Apply every scheduled fault event due at or before ``upto_s``."""
+        injector = self.fault_injector
+        if injector is None:
+            return
+        next_due = injector.next_time_s
+        if next_due is None or next_due > upto_s:
+            return
+        for event in injector.advance(upto_s):
+            t = max(event.time_s, self.clock.now)
+            # Serve everything due before the fault instant first: a fault
+            # takes effect at its own simulated time, never retroactively.
+            for i, worker in enumerate(self._replicas):
+                if self._alive[i]:
+                    worker.advance_to(t)
+            self.clock.advance_to(t)
+            self._apply_event(event, t)
+            self._faults_applied += 1
+        self._drain_failed()
+
+    def _apply_event(self, event: FaultEvent, t: float) -> None:
+        action = event.action
+        if action == "add":
+            self.add_replica()
+            return
+        if action == "retire":
+            self.retire_replica(self._fault_target(event))
+            return
+        r = self._fault_target(event)
+        if action == "kill":
+            self._kill(r, t)
+        elif action == "recover":
+            self._recover(r, t)
+        elif action == "slowdown":
+            self._replicas[r].set_service_factor(event.factor)
+        elif action == "transient":
+            self._transient[r] += event.count
+        if self._observer is not None:
+            detail = event.factor if action == "slowdown" else float(event.count)
+            self._observer.record(
+                EV_FAULT,
+                t,
+                replica=r,
+                detail=detail,
+                aux=self._observer.intern(action),
+            )
+
+    def _fault_target(self, event: FaultEvent) -> int:
+        r = event.replica
+        if not 0 <= r < len(self._replicas) or self._retired[r]:
+            raise ServiceError(
+                f"fault event {event.action!r} targets unknown or retired "
+                f"replica {r}"
+            )
+        return r
+
+    def _kill(self, r: int, t: float) -> None:
+        if not self._alive[r]:
+            return
+        self._alive[r] = False
+        self._all_alive = False
+        worker = self._replicas[r]
+        for dataset, columns in worker.evict_pending().items():
+            local, xs, ys, arrival_s = columns
+            tickets = self._cluster_tickets(r, local)
+            origin_s = arrival_s - worker.debt_of(local)
+            self._redispatch(dataset, tickets, xs, ys, origin_s, t, exclude=r)
+
+    def _recover(self, r: int, t: float) -> None:
+        if self._alive[r]:
+            return
+        self._replicas[r].advance_to(t)
+        self._alive[r] = True
+        self._refresh_all_alive()
+        self._drain_parked(t)
+
+    def _cluster_tickets(self, replica: int, local: np.ndarray) -> np.ndarray:
+        """Cluster tickets currently mapped to ``(replica, local)`` pairs.
+
+        Returned in ascending *local*-ticket order, which is the worker's
+        admission order — the row order of the evicted columns and of a
+        :class:`FlushedBatch`.
+        """
+        n = self._next_ticket
+        candidates = np.flatnonzero(self._ticket_replica[:n] == replica)
+        hits = candidates[np.isin(self._ticket_local[candidates], local)]
+        order = np.argsort(self._ticket_local[hits], kind="stable")
+        return hits[order]
+
+    def _redispatch(
+        self,
+        dataset: str,
+        tickets: np.ndarray,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        origin_s: np.ndarray,
+        now: float,
+        *,
+        exclude: Optional[int] = None,
+    ) -> None:
+        """Failover: re-admit queries onto surviving copies of ``dataset``.
+
+        ``origin_s`` is each query's *original* cluster arrival (prior debt
+        already subtracted), so re-admission charges the full elapsed time
+        since then as latency debt — reported latency survives any number
+        of failovers.  ``exclude`` steers the retry away from the replica
+        that just failed it: a hard exclusion when that replica is dead
+        (the liveness filter removes it anyway), a soft preference when it
+        is alive but flaky — if it holds the only live copy, retrying there
+        beats parking live work.  With no live copy the queries are parked
+        (a recovery or scale-out re-dispatches them); past ``max_retries``
+        the typed :class:`~repro.errors.ReplicaDown` is raised instead.
+        """
+        count = int(tickets.size)
+        if count == 0:
+            return
+        live = tuple(c for c in self._copies(dataset) if self._alive[c])
+        copies = tuple(c for c in live if c != exclude) or live
+        if not copies:
+            self._parked.append((dataset, tickets, xs, ys, origin_s))
+            return
+        if self._retry_counts is None:
+            self._retry_counts = np.zeros(
+                self._ticket_replica.size, dtype=np.int64
+            )
+        attempts = self._retry_counts[tickets] + 1
+        if int(attempts.max()) > self._max_retries:
+            raise ReplicaDown(
+                f"{count} queries on dataset {dataset!r} exceeded the retry "
+                f"cap ({self._max_retries})",
+                dataset=dataset,
+                queries=count,
+            )
+        self._retry_counts[tickets] = attempts
+        assignment = self.router.route_block(
+            dataset, copies, self._outstanding(copies), count
+        )
+        order = np.argsort(assignment, kind="stable")
+        grouped = assignment[order]
+        targets = np.unique(grouped)
+        starts = np.searchsorted(grouped, targets, side="left")
+        ends = np.searchsorted(grouped, targets, side="right")
+        for target, b0, b1 in zip(targets, starts, ends):
+            sel = order[b0:b1]
+            worker = self._replicas[int(target)]
+            t_re = max(now, worker.clock.now)
+            rearrival = np.full(sel.size, t_re, dtype=np.float64)
+            local = worker.submit_many(
+                dataset,
+                xs[sel],
+                ys[sel],
+                at=rearrival,
+                latency_debt=rearrival - origin_s[sel],
+            )
+            self._ticket_replica[tickets[sel]] = int(target)
+            self._ticket_local[tickets[sel]] = local
+            self._resubmitted += int(sel.size)
+            self._retried += int(sel.size)
+            if self._observer is not None:
+                self._observer.record(
+                    EV_RETRY,
+                    t_re,
+                    replica=int(target),
+                    detail=float(sel.size),
+                    aux=self._observer.intern(dataset),
+                )
+
+    def _drain_failed(self) -> None:
+        """Re-dispatch every batch captured by a serve interceptor."""
+        while self._failed:
+            source, dataset, batch, debt = self._failed.pop(0)
+            tickets = self._cluster_tickets(source, batch.tickets)
+            self._redispatch(
+                dataset,
+                tickets,
+                batch.xs,
+                batch.ys,
+                batch.arrival_s - debt,
+                self.clock.now,
+                exclude=source,
+            )
+
+    def _drain_parked(self, t: float) -> None:
+        """Re-dispatch queries parked while no copy of their dataset lived."""
+        if not self._parked:
+            return
+        parked, self._parked = self._parked, []
+        for dataset, tickets, xs, ys, origin_s in parked:
+            self._redispatch(dataset, tickets, xs, ys, origin_s, t)
+
+    def _register_copy(self, name: str, replica: int) -> None:
+        source = self._tree_sources[name]
+        if isinstance(source, _SharedLoader):
+            self._replicas[replica].register_tree(name, loader=source)
+        else:
+            self._replicas[replica].register_tree(name, source)
+
+    def _replace_ring_datasets(self) -> None:
+        """Recompute ring placements after membership changed.
+
+        Newly-placed copies are registered on their owners (indexes rebuild
+        lazily on first use); copies displaced off a placement keep their
+        registration as warm spares, so a later re-placement back is free.
+        """
+        for name, want in self._tree_replicas.items():
+            if want is None:
+                continue  # pinned via on=; membership changes never move it
+            count = min(want, len(self.ring.replica_ids))
+            copies = tuple(self.ring.place(name, count))
+            registered = self._registered[name]
+            for c in copies:
+                if c not in registered:
+                    self._register_copy(name, c)
+                    registered.add(c)
+            self._placement[name] = copies
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (

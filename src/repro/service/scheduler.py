@@ -32,7 +32,7 @@ is left untouched so every previously flushed slice stays valid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -389,6 +389,27 @@ class MicroBatchScheduler:
         while self._tail > self._head:
             out.append(self._flush(self.clock.now, "drain"))
         return out
+
+    def evict(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Remove the pending window without serving it; return its columns.
+
+        The failure-handling path (a replica killed with queries still
+        queued) uses this to pull the unserved queries back out so the
+        cluster can re-dispatch them to a surviving copy.  The returned
+        arrays are *copies* — the scheduler's state after the call is as if
+        those queries were never submitted (time does not move).
+
+        >>> s = MicroBatchScheduler()
+        >>> _ = s.submit(7, 1, 2, at=0.0)
+        >>> tickets, xs, ys, arrival = s.evict()
+        >>> tickets.tolist(), s.pending_count
+        ([7], 0)
+        """
+        h, t = self._head, self._tail
+        columns = (self._tickets[h:t].copy(), self._xs[h:t].copy(),
+                   self._ys[h:t].copy(), self._arrival[h:t].copy())
+        self._head = self._tail
+        return columns
 
     # ------------------------------------------------------------------
     # Internals

@@ -223,6 +223,19 @@ class LCAQueryService:
         # When each backend's (single, serially occupied) device next comes
         # free; batches queue behind it.
         self._backend_free_s: Dict[str, float] = {}
+        # Fault-tolerance hooks, all inert by default (a single `is None` /
+        # `== 1.0` check on the serving path keeps fault-free runs
+        # bit-identical to builds that predate them).  The cluster layer
+        # installs the interceptor (captures batches a dead/failing replica
+        # must not serve) and the hedge hook (offers a straggling batch to a
+        # second copy); ``latency_debt`` re-admissions populate the debt
+        # table so retried queries keep their true end-to-end latency.
+        self._serve_interceptor: Optional[
+            Callable[[str, FlushedBatch], bool]] = None
+        self._hedge_hook: Optional[
+            Callable[[str, FlushedBatch, float], Optional[float]]] = None
+        self._service_factor = 1.0
+        self._debt: Optional[np.ndarray] = None
         # Tree datasets already in a caller-provided store are servable
         # immediately — they get schedulers just like register_tree()'d ones.
         for name in self.store.names:
@@ -267,6 +280,128 @@ class LCAQueryService:
         obs.record(kind, self.clock.now, replica=self._obs_replica,
                    detail=value,
                    aux=obs.intern(f"{key.dataset}/{key.variant or key.kind}"))
+
+    # ------------------------------------------------------------------
+    # Fault-tolerance hooks (driven by the cluster layer; inert standalone)
+    # ------------------------------------------------------------------
+    def set_serve_interceptor(
+            self, interceptor: Optional[Callable[[str, FlushedBatch], bool]]
+    ) -> None:
+        """Install (or remove, with ``None``) a batch-serve interceptor.
+
+        Called as ``interceptor(dataset, batch)`` before every batch would
+        execute; returning ``True`` claims the batch — the service skips it
+        entirely (no kernel, no answers, no stats).  The cluster layer uses
+        this to capture batches on a dead or transiently failing replica and
+        re-dispatch them to a surviving copy.
+        """
+        self._serve_interceptor = interceptor
+
+    def set_hedge_hook(
+            self,
+            hook: Optional[Callable[[str, FlushedBatch, float],
+                                    Optional[float]]],
+    ) -> None:
+        """Install (or remove) the hedged-dispatch hook.
+
+        Called as ``hook(dataset, batch, completion_s)`` after a kernel
+        batch's completion time is known; returning an earlier instant means
+        a duplicate execution elsewhere finished first and the batch's
+        queries complete then instead.  The original lane stays booked —
+        hedging trades duplicate backend work for tail latency.
+        """
+        self._hedge_hook = hook
+
+    def set_service_factor(self, factor: float) -> None:
+        """Scale every subsequent kernel service time by ``factor``.
+
+        The fault injector's ``slowdown`` action routes here; ``1.0``
+        restores full speed.
+
+        >>> svc = LCAQueryService()
+        >>> svc.set_service_factor(4.0)
+        >>> svc.set_service_factor(0.5)
+        Traceback (most recent call last):
+            ...
+        repro.errors.ServiceError: service factor must be >= 1.0, got 0.5
+        """
+        if not float(factor) >= 1.0:
+            raise ServiceError(
+                f"service factor must be >= 1.0, got {factor}")
+        self._service_factor = float(factor)
+
+    def evict_pending(self) -> Dict[
+            str, Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Pull every queued query back out, per dataset, without serving it.
+
+        Returns ``{dataset: (tickets, xs, ys, arrival_s)}`` for each dataset
+        with a non-empty queue (array copies; the schedulers end up empty).
+        The cluster layer calls this when a replica is killed so the
+        stranded queries can be re-dispatched to surviving copies.
+
+        >>> svc = LCAQueryService()
+        >>> svc.register_tree("t", np.array([-1, 0, 0]))
+        >>> t = svc.submit("t", 1, 2, at=0.0)
+        >>> sorted(svc.evict_pending())
+        ['t']
+        >>> svc.pending_count()
+        0
+        """
+        evicted: Dict[str, Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                 np.ndarray]] = {}
+        for name, scheduler in self._schedulers.items():
+            if scheduler.pending_count:
+                evicted[name] = scheduler.evict()
+        return evicted
+
+    def debt_of(self, tickets: ArrayLike) -> np.ndarray:
+        """Per-ticket latency debt (0.0 for tickets admitted normally).
+
+        A query re-admitted after a replica failure arrives *again* at the
+        retry instant; its debt is the gap back to its true first arrival,
+        added to the modeled latency when it completes so tail attribution
+        survives failover.
+        """
+        idx = np.atleast_1d(np.asarray(tickets)).astype(np.int64, copy=False)
+        if self._debt is None or idx.size == 0:
+            return np.zeros(idx.size, dtype=np.float64)
+        return self._debt[idx].copy()
+
+    def serve_hedge(self, dataset: str, xs: np.ndarray, ys: np.ndarray, *,
+                    issue_s: float) -> float:
+        """Run a duplicate of a straggling batch; return its completion time.
+
+        The hedge is a real execution on this replica: the dispatcher picks
+        a backend for the duplicate's size, a cold index pays its build
+        time, the kernel runs (answers are discarded — LCA is deterministic,
+        so the original batch's answers are bit-identical), the lane is
+        serially booked from ``issue_s``, and the duplicate backend time is
+        billed to this replica's stats.  Only the completion instant flows
+        back; the caller takes ``min(original, hedge)``.
+        """
+        size = int(np.asarray(xs).size)
+        backend = self.dispatcher.choose(size)
+        entry, hit = self.registry.fetch_by_key(
+            self._artifact_key(dataset, backend), spec=backend.spec)
+        service_time = 0.0 if hit else entry.build_time_s
+        ctx = ExecutionContext(backend.spec)
+        entry.artifact.query(np.asarray(xs, dtype=np.int64),
+                             np.asarray(ys, dtype=np.int64), ctx=ctx)
+        service_time += ctx.elapsed
+        if self._service_factor != 1.0:
+            service_time *= self._service_factor
+        start = max(float(issue_s),
+                    self._backend_free_s.get(backend.key, 0.0))
+        completion = start + service_time
+        self._backend_free_s[backend.key] = completion
+        self.stats_collector.record_hedge(service_time)
+        obs = self._observer
+        if obs is not None:
+            obs.record_span(EV_KERNEL_START, EV_KERNEL_END, start, completion,
+                            batch=obs.next_batch_id(),
+                            replica=self._obs_replica, detail=service_time,
+                            aux=obs.intern(backend.key))
+        return completion
 
     # ------------------------------------------------------------------
     # Dataset management
@@ -375,7 +510,8 @@ class LCAQueryService:
         return ticket
 
     def submit_many(self, dataset: str, xs: np.ndarray, ys: np.ndarray, *,
-                    at: Optional[np.ndarray] = None) -> np.ndarray:
+                    at: Optional[np.ndarray] = None,
+                    latency_debt: Optional[np.ndarray] = None) -> np.ndarray:
         """Submit a column block of single queries; returns their tickets.
 
         With the skew-aware path off (the default), observationally
@@ -394,6 +530,13 @@ class LCAQueryService:
         Error semantics match the per-query loop exactly: an out-of-range
         query or a backwards arrival raises at its own position, after every
         query before it has been admitted (and possibly served).
+
+        ``latency_debt`` (cluster failover only) gives each query latency
+        already accrued before this re-admission — the gap between its true
+        first arrival and the retry instant ``at`` carries.  Debt is added
+        to the modeled latency at completion, and a debt-carrying block
+        always takes the standard scheduler path (no front-door
+        memoization): a retried query re-queues like any other arrival.
 
         >>> svc = LCAQueryService()
         >>> svc.register_tree("t", np.array([-1, 0, 0, 1]))
@@ -436,8 +579,21 @@ class LCAQueryService:
                 self._observer.record_block(EV_ARRIVAL, arrivals[:stop],
                                             tickets,
                                             replica=self._obs_replica)
+            if latency_debt is not None:
+                debt = np.atleast_1d(np.asarray(latency_debt,
+                                                dtype=np.float64))
+                if debt.shape != xs.shape:
+                    raise ServiceError(
+                        "latency_debt array must match the query arrays")
+                # Tickets are consecutive: store the block's debt with one
+                # slice assignment before anything can flush and serve it.
+                if self._debt is None:
+                    self._debt = np.zeros(self._answers.size,
+                                          dtype=np.float64)
+                self._debt[int(tickets[0]):int(tickets[-1]) + 1] = debt[:stop]
             handled = (
-                self.answer_cache is not None
+                latency_debt is None
+                and self.answer_cache is not None
                 and self._is_packable(dataset)
                 and self._admit_memoized(dataset, scheduler, tickets,
                                          xs[:stop], ys[:stop],
@@ -665,6 +821,13 @@ class LCAQueryService:
         self._answers = grow_table(self._answers, used, needed)
         self._latencies = grow_table(self._latencies, used, needed)
         self._answered = grow_table(self._answered, used, needed)
+        if self._debt is not None:
+            # The debt table must stay zero beyond the used region (it is
+            # only ever written for retried tickets), so it grows by
+            # zero-filled reallocation rather than grow_table's np.empty.
+            debt = np.zeros(self._answers.size, dtype=np.float64)
+            debt[:used] = self._debt
+            self._debt = debt
 
     def _scheduler(self, dataset: str) -> MicroBatchScheduler:
         try:
@@ -873,6 +1036,12 @@ class LCAQueryService:
         return True
 
     def _serve(self, dataset: str, batch: FlushedBatch) -> None:
+        if (self._serve_interceptor is not None
+                and self._serve_interceptor(dataset, batch)):
+            # The interceptor claimed the batch (dead or transiently failing
+            # replica): it is re-dispatched by the cluster layer, not served
+            # here.
+            return
         if self._dedup and self._is_packable(dataset):
             self._serve_deduped(dataset, batch)
             return
@@ -893,7 +1062,7 @@ class LCAQueryService:
         answers = entry.artifact.query(batch.xs, batch.ys, ctx=ctx)
         service_time += ctx.elapsed
         self._finish_batch(batch, answers, service_time, backend.key,
-                           batch.size)
+                           batch.size, dataset=dataset)
 
     def _serve_deduped(self, dataset: str, batch: FlushedBatch) -> None:
         """The skew-aware fast path: canonicalize, dedup, probe, kernel misses.
@@ -925,7 +1094,7 @@ class LCAQueryService:
                                detail=float(batch.size - hits))
             if hits == batch.size:
                 self._finish_batch(batch, answers, service_time,
-                                   CACHE_BACKEND_KEY, 0)
+                                   CACHE_BACKEND_KEY, 0, dataset=dataset)
                 return
             miss = np.flatnonzero(~found)
             miss_keys = keys[miss]
@@ -970,7 +1139,8 @@ class LCAQueryService:
             lane = backend.key
         else:
             lane = CACHE_BACKEND_KEY
-        self._finish_batch(batch, answers, service_time, lane, kernel_queries)
+        self._finish_batch(batch, answers, service_time, lane, kernel_queries,
+                           dataset=dataset)
 
     def _store_results(self, idx: np.ndarray, answers: np.ndarray,
                        latencies: np.ndarray) -> None:
@@ -993,14 +1163,34 @@ class LCAQueryService:
 
     def _finish_batch(self, batch: FlushedBatch, answers: np.ndarray,
                       service_time: float, backend_key: str,
-                      kernel_queries: int) -> None:
+                      kernel_queries: int, *,
+                      dataset: Optional[str] = None) -> None:
+        if self._service_factor != 1.0:
+            # An injected slowdown stretches kernel time (degraded device);
+            # the host-side cache lane is unaffected.
+            if backend_key != CACHE_BACKEND_KEY:
+                service_time *= self._service_factor
         # The batch starts once both it is flushed and its lane is free;
         # this serializes batches per backend so overload manifests as
         # queueing delay, not as impossible overlapping service times.
         start = max(batch.flush_s, self._backend_free_s.get(backend_key, 0.0))
         completion = start + service_time
         self._backend_free_s[backend_key] = completion
-        latencies = completion - batch.arrival_s
+        effective = completion
+        if (self._hedge_hook is not None and dataset is not None
+                and backend_key != CACHE_BACKEND_KEY):
+            # Offer the straggler to a second copy; an earlier duplicate
+            # completion wins for the queries, the original lane stays
+            # booked (the work is duplicated, not cancelled — the kernel
+            # span below still shows the full original occupancy).
+            hedged = self._hedge_hook(dataset, batch, completion)
+            if hedged is not None and hedged < completion:
+                effective = hedged
+        latencies = effective - batch.arrival_s
+        if self._debt is not None:
+            # Retried queries carry the latency accrued before this
+            # (re-)admission; everyone else's slot is zero.
+            latencies = latencies + self._debt[batch.tickets]
         obs = self._observer
         if obs is not None:
             lane = obs.intern(backend_key)
@@ -1009,7 +1199,7 @@ class LCAQueryService:
                             detail=service_time, aux=lane)
             # ``own=True``: batch tickets and the fresh latency array are
             # never mutated after this point.
-            obs.record_block(EV_COMPLETE, completion, batch.tickets,
+            obs.record_block(EV_COMPLETE, effective, batch.tickets,
                              batch=batch.batch_id,
                              replica=self._obs_replica, detail=latencies,
                              own=True)
@@ -1023,7 +1213,7 @@ class LCAQueryService:
             # Batch arrivals are non-decreasing by construction, so the
             # first element is the minimum — no reduction pass needed.
             first_arrival_s=float(batch.arrival_s[0]),
-            completion_s=completion,
+            completion_s=effective,
             kernel_queries=kernel_queries,
         )
 

@@ -207,6 +207,16 @@ class StatsCollector:
         """Count newly submitted queries."""
         self.queries_submitted += int(count)
 
+    def record_hedge(self, service_time_s: float) -> None:
+        """Charge a hedged duplicate execution's backend time.
+
+        A hedge re-runs a straggling batch on a second replica; its answers
+        are byte-identical to the original's, so nothing is added to the
+        answered/latency accounting — only the duplicate backend occupancy
+        is billed here (the cost side of the tail-latency trade).
+        """
+        self.busy_time_s += float(service_time_s)
+
     def reserve(self, capacity: int) -> None:
         """Pre-size the latency table (capacity planning for long streams).
 

@@ -18,10 +18,18 @@ turns "what traffic?" into a first-class, declarative axis:
   feeds any scenario to any :class:`~repro.service.LCAQueryService` or
   :class:`~repro.service.ClusterService` in vectorized column blocks and
   returns a :class:`~repro.workloads.replay.ScenarioReport` (per-phase
-  throughput, p50/p99, shed rate, load imbalance).
+  throughput, p50/p99, shed rate, load imbalance), with an optional seeded
+  client-side :class:`~repro.workloads.replay.RetryPolicy` for shed
+  queries;
+* :mod:`~repro.workloads.chaos` — the ``chaos-*`` scenario family:
+  :class:`~repro.workloads.chaos.ChaosScenario` pairs traffic with a
+  deterministic fault schedule (replica kills, rolling restarts, elastic
+  scale-out) and :func:`~repro.workloads.chaos.replay_chaos` runs it on a
+  fault-injected cluster.
 
 Everything is seeded and simulated-clock-timed, so a scenario replay is a
-bit-reproducible function of ``(scenario, target configuration)``.
+bit-reproducible function of ``(scenario, target configuration)`` — fault
+schedules included.
 """
 
 from .arrivals import (
@@ -41,7 +49,14 @@ from .keys import (
     UniformKeys,
     ZipfKeys,
 )
-from .replay import PhaseReport, ScenarioReport, replay
+from .chaos import (
+    CHAOS_SCENARIOS,
+    ChaosScenario,
+    make_chaos_scenario,
+    replay_chaos,
+    transient_storm,
+)
+from .replay import PhaseReport, RetryPolicy, ScenarioReport, replay
 from .scenario import SCENARIOS, Phase, Scenario, TrafficSource, make_scenario
 
 __all__ = [
@@ -70,4 +85,11 @@ __all__ = [
     "replay",
     "PhaseReport",
     "ScenarioReport",
+    "RetryPolicy",
+    # chaos
+    "ChaosScenario",
+    "CHAOS_SCENARIOS",
+    "make_chaos_scenario",
+    "replay_chaos",
+    "transient_storm",
 ]

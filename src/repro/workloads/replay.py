@@ -29,12 +29,13 @@ Two mechanical details make the replay faithful:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from ..errors import Overloaded
+from ..errors import ConfigurationError, Overloaded
 from ..graphs.generators import random_attachment_tree
 from ..lca import BinaryLiftingLCA
 from ..obs.events import TraceRecorder, TraceTable
@@ -44,11 +45,68 @@ from ..service.stats import dedup_factor as _dedup_factor
 from ..service.stats import hit_rate as _hit_rate
 from .scenario import Scenario
 
-__all__ = ["PhaseReport", "ScenarioReport", "replay"]
+__all__ = ["PhaseReport", "RetryPolicy", "ScenarioReport", "replay"]
 
 #: Either serving front door; the harness only uses their shared surface
 #: (register_tree / submit_many / drain / latencies / stats / tickets_issued).
 ServiceTarget = Union[LCAQueryService, ClusterService]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Seeded client-side retry of :class:`~repro.errors.Overloaded` sheds.
+
+    When passed to :func:`replay`, queries rejected by admission control are
+    re-submitted after a capped exponential backoff instead of being dropped
+    on the floor: retry ``k`` (1-based) is due ``base_backoff_s * 2**(k-1)``
+    seconds after the rejection, capped at ``max_backoff_s`` and jittered by
+    a ``±jitter`` fraction drawn from a generator seeded with ``seed`` — the
+    retry schedule is part of the workload spec, so two replays with the
+    same policy offer identical retry traffic.  A query still shed after
+    ``max_attempts`` retries is *abandoned*.
+
+    Retries are offered traffic like any other: an admitted retry counts
+    into :attr:`PhaseReport.queries_admitted` (and ``queries_retried``) of
+    the phase whose blocks it rode in with, so ``admitted + shed`` may
+    exceed ``offered`` — the original rejection already counted as shed.
+
+    >>> RetryPolicy(max_attempts=2).max_attempts
+    2
+    >>> RetryPolicy(base_backoff_s=0.0)
+    Traceback (most recent call last):
+        ...
+    repro.errors.ConfigurationError: base_backoff_s must be positive
+    """
+
+    #: Delay before the first retry, seconds; doubles per attempt.
+    base_backoff_s: float = 2e-3
+    #: Backoff ceiling, seconds.
+    max_backoff_s: float = 32e-3
+    #: Retries per query before it is abandoned.
+    max_attempts: int = 3
+    #: Multiplicative jitter fraction (0 disables jitter).
+    jitter: float = 0.1
+    #: Seed for the jitter draws.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base_backoff_s <= 0:
+            raise ConfigurationError("base_backoff_s must be positive")
+        if self.max_backoff_s < self.base_backoff_s:
+            raise ConfigurationError(
+                "max_backoff_s must be at least base_backoff_s"
+            )
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+
+    def backoff_s(self, attempt: int, rng: np.random.Generator) -> float:
+        """Jittered delay before retry number ``attempt`` (0-based)."""
+        delay = min(self.base_backoff_s * 2.0**attempt, self.max_backoff_s)
+        if self.jitter:
+            delay *= 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return delay
 
 
 @dataclass(frozen=True)
@@ -78,6 +136,14 @@ class PhaseReport:
     #: attributed to the phase that flushes them; the trailing drain counts
     #: toward the final phase.
     answer_cache_hit_rate: float = 0.0
+    #: Client-side retries admitted while this phase's blocks were being
+    #: submitted, and queries abandoned after exhausting their
+    #: :class:`RetryPolicy` budget (both 0 without a retry policy).  Retries
+    #: count into :attr:`queries_admitted` too, so ``admitted + shed`` may
+    #: exceed ``offered``; retries left pending at the end of the trace are
+    #: flushed into the final phase.
+    queries_retried: int = 0
+    queries_abandoned: int = 0
     #: Host wall-clock seconds this phase spent inside ``submit_many``
     #: (a measurement of the harness, not of the modeled outcome — excluded
     #: from equality so deterministic replays still compare equal).
@@ -125,6 +191,9 @@ class ScenarioReport:
     #: dedup when every answer came from the cache).
     answer_cache_hit_rate: float = 0.0
     dedup_factor: float = 1.0
+    #: Client-retry totals across phases (0 without a :class:`RetryPolicy`).
+    queries_retried: int = 0
+    queries_abandoned: int = 0
     #: Host wall-clock seconds spent inside the serving calls (submit_many,
     #: drain, latencies) — trace generation excluded.  The skew benchmark
     #: derives its wall-clock throughput from this.
@@ -153,6 +222,13 @@ class ScenarioReport:
             f"queries            : {self.queries_offered} offered, "
             f"{self.queries_admitted} admitted, {self.queries_shed} shed "
             f"({self.shed_rate:.1%})",
+        ]
+        if self.queries_retried or self.queries_abandoned:
+            lines.append(
+                f"client retries     : {self.queries_retried} admitted on "
+                f"retry, {self.queries_abandoned} abandoned"
+            )
+        lines += [
             f"throughput         : {self.throughput_qps:,.0f} queries/s "
             f"over {self.span_s * 1e3:.3f} ms modeled span",
             f"latency p50/p99    : {self.latency_p50_s * 1e6:.2f} / "
@@ -266,6 +342,7 @@ def replay(
     check_answers: bool = False,
     seed: Optional[int] = None,
     observer: Optional[TraceRecorder] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> ScenarioReport:
     """Feed ``scenario`` to ``target`` in column blocks; report the outcome.
 
@@ -290,6 +367,16 @@ def replay(
     ``observer`` attaches a :class:`~repro.obs.events.TraceRecorder` to the
     target for the duration of the replay (and leaves it attached); the
     captured table is returned on :attr:`ScenarioReport.trace`.
+
+    ``retry`` enables seeded client-side retry of shed queries (see
+    :class:`RetryPolicy`): each queued retry is re-submitted once simulated
+    time reaches its backoff deadline, interleaved with the original trace,
+    and queries that exhaust the budget are counted as abandoned.  Note
+    that a cluster replayed under fault injection retries *server-side*
+    failovers internally; this knob only re-offers admission-control
+    rejections.  :class:`~repro.errors.ReplicaDown` — no live copy left for
+    an admitted query — is a service failure, not load shedding, and
+    propagates out of ``replay`` unhandled.
 
     >>> from repro.service import LCAQueryService
     >>> from repro.workloads import make_scenario
@@ -326,6 +413,57 @@ def replay(
     verified_runs: List[Tuple[str, np.ndarray, np.ndarray, np.ndarray]] = []
     phase_tickets: List[List[np.ndarray]] = []
     phase_raw: List[Tuple[str, float, int, int]] = []  # name, dur, offered, shed
+    # Per-phase mutable [retried, abandoned] counters; the helpers below
+    # charge whichever phase is current when a retry lands or gives up.
+    phase_retry: List[List[int]] = []
+    retry_rng = np.random.default_rng(retry.seed) if retry is not None else None
+    # (due_s, seq, dataset, xs, ys, attempt); seq breaks ties because numpy
+    # arrays do not order.
+    retry_heap: List[Tuple[float, int, str, np.ndarray, np.ndarray, int]] = []
+    retry_seq = 0
+    tickets: List[np.ndarray] = []
+
+    def _queue_retry(
+        dataset: str,
+        rx: np.ndarray,
+        ry: np.ndarray,
+        rejected_s: float,
+        attempt: int,
+    ) -> None:
+        nonlocal retry_seq
+        assert retry is not None and retry_rng is not None
+        if attempt > retry.max_attempts:
+            phase_retry[-1][1] += int(rx.size)
+            return
+        due = rejected_s + retry.backoff_s(attempt - 1, retry_rng)
+        heapq.heappush(retry_heap, (due, retry_seq, dataset, rx, ry, attempt))
+        retry_seq += 1
+
+    def _flush_retries(upto: Optional[float]) -> None:
+        """Submit queued retries due by ``upto`` (all of them when ``None``)."""
+        while retry_heap and (upto is None or retry_heap[0][0] <= upto):
+            due, _, dataset, rx, ry, attempt = heapq.heappop(retry_heap)
+            at_s = max(due, target.clock.now)
+            before = target.tickets_issued
+            try:
+                with timer.span("submit"):
+                    block = target.submit_many(
+                        dataset, rx, ry, at=np.full(rx.size, at_s)
+                    )
+                tickets.append(block)
+                phase_retry[-1][0] += int(rx.size)
+                if check_answers:
+                    verified_runs.append((dataset, rx, ry, block))
+            except Overloaded as exc:
+                if exc.admitted:
+                    tickets.append(
+                        np.arange(before, before + exc.admitted, dtype=np.int64)
+                    )
+                    phase_retry[-1][0] += exc.admitted
+                _queue_retry(
+                    dataset, rx[exc.admitted :], ry[exc.admitted :], at_s,
+                    attempt + 1,
+                )
     # Cumulative answer-cache (hits, misses) at each phase boundary; phase i's
     # hit rate is the delta between boundaries i and i+1.
     cache_marks: List[Tuple[int, int]] = [_answer_cache_counters(target)]
@@ -366,12 +504,15 @@ def replay(
             np.concatenate([[0], run_edges, window_edges, [count]]).astype(np.int64)
         )
 
-        tickets: List[np.ndarray] = []
+        tickets = []
         shed = 0
+        phase_retry.append([0, 0])
         submit_wall_0 = timer.seconds("submit")
         for a, b in zip(edges[:-1], edges[1:]):
             if b <= a:
                 continue
+            if retry is not None:
+                _flush_retries(float(arrivals[a]))
             dataset = sources[int(assignment[a])].dataset
             before = target.tickets_issued
             try:
@@ -387,12 +528,21 @@ def replay(
                     tickets.append(
                         np.arange(before, before + exc.admitted, dtype=np.int64)
                     )
+                if retry is not None and exc.shed:
+                    first = a + exc.admitted
+                    last = first + exc.shed
+                    _queue_retry(dataset, xs[first:last], ys[first:last],
+                                 float(arrivals[first]), 1)
         phase_submit_wall.append(timer.seconds("submit") - submit_wall_0)
         phase_tickets.append(tickets)
         phase_raw.append((phase.name, phase.duration_s, count, shed))
         cache_marks.append(_answer_cache_counters(target))
         t0 += phase.duration_s
 
+    if retry is not None:
+        # Late backoffs land past the last arrival; flush them (into the
+        # final phase's accounting) before the drain.
+        _flush_retries(None)
     with timer.span("drain"):
         target.drain()
     # The drain's lookups belong to the final phase's boundary.
@@ -460,6 +610,8 @@ def replay(
                 latency_p50_s=p50,
                 latency_p99_s=p99,
                 answer_cache_hit_rate=_hit_rate(hits1 - hits0, misses1 - misses0),
+                queries_retried=phase_retry[index][0],
+                queries_abandoned=phase_retry[index][1],
                 submit_wall_s=phase_submit_wall[index],
             )
         )
@@ -497,6 +649,8 @@ def replay(
         ),
         dedup_factor=_dedup_factor(answered_1 - answered_0,
                                    kernel_1 - kernel_0),
+        queries_retried=sum(p.queries_retried for p in phases),
+        queries_abandoned=sum(p.queries_abandoned for p in phases),
         serve_wall_s=timer.total("submit", "drain", "latencies"),
         submit_wall_s=timer.seconds("submit"),
         drain_wall_s=timer.seconds("drain"),

@@ -208,3 +208,64 @@ def test_make_router_builds_every_policy():
     assert ROUTER_POLICIES == ("round-robin", "least-outstanding", "consistent-hash")
     with pytest.raises(ServiceError):
         make_router("magic")
+
+
+# ----------------------------------------------------------------------
+# Removal properties (hypothesis)
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ids=st.lists(st.integers(0, 31), min_size=2, max_size=8, unique=True),
+    victim_index=st.integers(0, 7),
+    count=st.integers(1, 3),
+    key_seed=st.integers(0, 1 << 16),
+)
+def test_property_remove_only_moves_victim_owned_placements(
+    ids, victim_index, count, key_seed
+):
+    victim = ids[victim_index % len(ids)]
+    full = HashRing(ids)
+    shrunk = HashRing(ids)
+    shrunk.remove(victim)
+    assert shrunk.replica_ids == tuple(sorted(set(ids) - {victim}))
+    for i in range(40):
+        key = f"ds-{key_seed}-{i}"
+        old = full.place(key, count)
+        new = shrunk.place(key, count)
+        assert victim not in new
+        if victim not in old:
+            # Placements the victim never owned are bit-identical.
+            assert new == old
+        else:
+            # Only the victim's slots are refilled; the survivors keep
+            # their membership (order may shift as arcs merge).
+            survivors = [r for r in old if r != victim]
+            assert all(r in new for r in survivors)
+            assert len(new) == min(count, len(ids) - 1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    copies=st.lists(st.integers(0, 31), min_size=2, max_size=8, unique=True),
+    drop_index=st.integers(0, 7),
+    key_seed=st.integers(0, 1 << 16),
+)
+def test_property_consistent_hash_respects_post_removal_ownership(
+    copies, drop_index, key_seed
+):
+    router = ConsistentHashRouter()
+    depth = np.zeros(len(copies), dtype=np.int64)
+    dataset = f"ds-{key_seed}"
+    winner = router.route_one(dataset, tuple(copies), depth)
+    dropped = copies[drop_index % len(copies)]
+    survivors = tuple(c for c in copies if c != dropped)
+    routed = router.route_one(
+        dataset, survivors, np.zeros(len(survivors), dtype=np.int64)
+    )
+    if dropped == winner:
+        # The owner left: the new pick must be a real survivor.
+        assert routed in survivors
+    else:
+        # Rendezvous hashing: unrelated churn never moves the dataset.
+        assert routed == winner
