@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.service import (
     BatchPolicy,
+    ClusterConfig,
     ClusterService,
     FaultEvent,
     RoundRobinRouter,
@@ -202,9 +203,12 @@ def main(argv=None) -> int:
     kill = make_chaos_scenario(
         "chaos-replica-kill", scale=args.scale, seed=args.seed
     )
-    control_cluster = ClusterService(
-        args.replicas, policy=POLICY, max_pending=args.max_pending
-    )
+    control_cluster = ClusterService(config=ClusterConfig(
+        n_replicas=args.replicas,
+        max_batch_size=POLICY.max_batch_size,
+        max_wait_s=POLICY.max_wait_s,
+        max_pending=args.max_pending,
+    ))
     control = replay(
         control_cluster,
         kill.scenario,

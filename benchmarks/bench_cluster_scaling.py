@@ -47,7 +47,12 @@ import numpy as np
 from repro.experiments.service_experiments import replica_scaling_sweep
 from repro.graphs.generators import random_attachment_tree
 from repro.graphs.trees import generate_random_queries
-from repro.service import BatchPolicy, ClusterService, LCAQueryService
+from repro.service import (
+    ClusterConfig,
+    ClusterService,
+    LCAQueryService,
+    ServiceConfig,
+)
 
 from bench_util import BENCH_SCALE, RESULTS_DIR
 
@@ -65,11 +70,13 @@ def verify_single_replica_equivalence(
     parents = random_attachment_tree(nodes, seed=seed)
     xs, ys = generate_random_queries(nodes, queries, seed=seed + 1)
     arrivals = np.arange(queries, dtype=np.float64) * 2e-7
-    policy = BatchPolicy(max_batch_size=256, max_wait_s=2e-4)
+    config = ServiceConfig(max_batch_size=256, max_wait_s=2e-4)
 
-    plain = LCAQueryService(policy=policy)
+    plain = LCAQueryService(config=config)
     plain.register_tree("hot", parents)
-    cluster = ClusterService(1, policy=policy)
+    cluster = ClusterService(config=ClusterConfig(
+        n_replicas=1, max_batch_size=256, max_wait_s=2e-4
+    ))
     cluster.register_tree("hot", parents, replicas=1)
 
     plain_tickets, cluster_tickets = [], []

@@ -63,7 +63,7 @@ except ImportError:  # running from a checkout without `pip install -e .`
 
 import numpy as np
 
-from repro.service import BatchPolicy, LCAQueryService
+from repro.service import LCAQueryService, ServiceConfig
 from repro.workloads import (
     Phase,
     PoissonArrivals,
@@ -111,7 +111,7 @@ def run_cell(
     scenario: Scenario,
     *,
     cache_bytes,
-    policy,
+    base_config,
     window_s: float,
     repeats: int,
     warm_replays: int,
@@ -140,9 +140,9 @@ def run_cell(
     expected = int(
         scenario.expected_queries() * (warm_replays + 2 * repeats + 1)
     )
-    service = LCAQueryService(
-        policy=policy, ticket_capacity=expected + expected // 4, **kwargs
-    )
+    service = LCAQueryService(config=base_config.derive(
+        ticket_capacity=expected + expected // 4, **kwargs
+    ))
     cold = replay(service, scenario, admission_window_s=window_s)
     fresh_rounds = []
     replayed_rounds = []
@@ -273,7 +273,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    policy = BatchPolicy(
+    policy = ServiceConfig(
         max_batch_size=args.max_batch, max_wait_s=args.max_wait_ms * 1e-3
     )
     window_s = args.admission_window_ms * 1e-3
@@ -299,7 +299,7 @@ def main(argv=None) -> int:
         off = run_cell(
             scenario,
             cache_bytes=None,
-            policy=policy,
+            base_config=policy,
             window_s=window_s,
             repeats=args.repeats,
             warm_replays=args.warm_replays,
@@ -308,7 +308,7 @@ def main(argv=None) -> int:
         on = run_cell(
             scenario,
             cache_bytes=args.cache_bytes,
-            policy=policy,
+            base_config=policy,
             window_s=window_s,
             repeats=args.repeats,
             warm_replays=args.warm_replays,

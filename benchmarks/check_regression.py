@@ -13,7 +13,9 @@ the fresh JSON against the committed baseline with a per-metric tolerance::
 Each ``--check PATH:MIN_RATIO`` asserts ``current >= MIN_RATIO * baseline``
 for the numeric value at the dotted ``PATH`` (higher is better); each
 ``--check-max PATH:MAX_RATIO`` asserts ``current <= MAX_RATIO * baseline``
-(lower is better — tail latencies, shed rates).  Modeled-time metrics are
+(lower is better — tail latencies, shed rates).  A zero baseline under
+``--check-max`` asserts the current value is still zero (violation and
+error counts must stay clean).  Modeled-time metrics are
 bit-deterministic, so their ratio tolerances can sit near 1.0; host
 wall-clock ratios (e.g. the columnar speedup) get looser bounds to absorb
 runner noise.
@@ -92,6 +94,20 @@ def main(argv=None) -> int:
     for path, bound, is_max in checks:
         base = resolve(baseline, path)
         cur = resolve(current, path)
+        if base == 0 and is_max:
+            # A zero baseline under a max bound is a real gate: the metric
+            # (violation/error counts) must stay at zero.
+            ok = cur <= 0
+            verdict = "ok" if ok else "REGRESSION"
+            print(
+                f"{path:<40} {base:>14,.4g} {cur:>14,.4g} {'-':>7} "
+                f"{'== 0':>7}  {verdict}"
+            )
+            if not ok:
+                failures.append(
+                    f"{path}: {cur:,.4g} is above the zero baseline"
+                )
+            continue
         if base <= 0:
             failures.append(f"{path}: baseline value {base} is not positive")
             continue

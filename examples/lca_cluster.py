@@ -25,13 +25,15 @@ from repro.errors import Overloaded
 from repro.graphs.generators import barabasi_albert_tree, random_attachment_tree
 from repro.graphs.trees import generate_random_queries
 from repro.lca import BinaryLiftingLCA
-from repro.service import BatchPolicy, ClusterService, make_router
+from repro.service import ClusterConfig, ClusterService
 
 N_REPLICAS = 4
 N_NODES = 30_000
 N_QUERIES = 40_000
 CHUNK = 4_096
-POLICY = BatchPolicy(max_batch_size=256, max_wait_s=2e-4)
+CONFIG = ClusterConfig(
+    n_replicas=N_REPLICAS, max_batch_size=256, max_wait_s=2e-4
+)
 
 
 def flood(cluster, xs, ys, arrivals):
@@ -57,9 +59,7 @@ def main() -> None:
 
     # --- routing policies under the same flood -------------------------
     for policy_name in ("least-outstanding", "consistent-hash"):
-        cluster = ClusterService(
-            N_REPLICAS, policy=POLICY, router=make_router(policy_name)
-        )
+        cluster = ClusterService(config=CONFIG.derive(router=policy_name))
         cluster.register_tree("hot", hot, replicas=N_REPLICAS)
         # Two cold datasets, placed by the consistent-hash ring (1 copy each;
         # the lazy one is only materialized if it ever gets a query).
@@ -82,11 +82,9 @@ def main() -> None:
 
     # --- backpressure ---------------------------------------------------
     print("\n--- bounded cluster queue (max_pending=2048) ---")
-    bounded = ClusterService(
-        N_REPLICAS,
-        policy=BatchPolicy(max_batch_size=1 << 14, max_wait_s=1.0),
-        max_pending=2_048,
-    )
+    bounded = ClusterService(config=CONFIG.derive(
+        max_batch_size=1 << 14, max_wait_s=1.0, max_pending=2_048
+    ))
     bounded.register_tree("hot", hot, replicas=N_REPLICAS)
     admitted = 0
     try:

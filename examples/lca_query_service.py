@@ -21,7 +21,7 @@ import numpy as np
 from repro.graphs.generators import barabasi_albert_tree, random_attachment_tree
 from repro.graphs.trees import generate_random_queries
 from repro.lca import BinaryLiftingLCA
-from repro.service import BatchPolicy, CostModelDispatcher, LCAQueryService
+from repro.service import CostModelDispatcher, LCAQueryService, ServiceConfig
 
 
 def main() -> None:
@@ -35,7 +35,7 @@ def main() -> None:
           f"GPU serves larger ones\n")
 
     service = LCAQueryService(
-        policy=BatchPolicy(max_batch_size=512, max_wait_s=2e-4),
+        config=ServiceConfig(max_batch_size=512, max_wait_s=2e-4),
         dispatcher=dispatcher,
     )
     n = 50_000

@@ -18,7 +18,12 @@ Run with:  python examples/scenario_replay.py
 
 from __future__ import annotations
 
-from repro.service import BatchPolicy, ClusterService, LCAQueryService, make_router
+from repro.service import (
+    ClusterConfig,
+    ClusterService,
+    LCAQueryService,
+    ServiceConfig,
+)
 from repro.workloads import (
     InhomogeneousPoissonArrivals,
     Phase,
@@ -30,13 +35,17 @@ from repro.workloads import (
     replay,
 )
 
-POLICY = BatchPolicy(max_batch_size=256, max_wait_s=2e-4)
+CONFIG = ServiceConfig(max_batch_size=256, max_wait_s=2e-4)
 
 
 def bounded_cluster(policy_name: str = "least-outstanding") -> ClusterService:
-    return ClusterService(
-        4, policy=POLICY, router=make_router(policy_name), max_pending=8192
-    )
+    return ClusterService(config=ClusterConfig(
+        n_replicas=4,
+        max_batch_size=256,
+        max_wait_s=2e-4,
+        router=policy_name,
+        max_pending=8192,
+    ))
 
 
 def main() -> None:
@@ -45,7 +54,7 @@ def main() -> None:
     print("=" * 72)
 
     # --- 1. steady on a single node ------------------------------------
-    service = LCAQueryService(policy=POLICY)
+    service = LCAQueryService(config=CONFIG)
     report = replay(service, make_scenario("steady", scale=0.5), check_answers=True)
     print("\n--- steady, single-node service ---")
     print(report.format())

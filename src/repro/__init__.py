@@ -37,6 +37,7 @@ True
 
 from . import (
     bridges,
+    control,
     device,
     errors,
     euler,
@@ -73,6 +74,7 @@ from .errors import (
     ReproError,
     ServiceError,
 )
+from .control import SLO, Controller
 from .euler import EulerTour, TreeStats, build_euler_tour, compute_tree_stats
 from .graphs import CSRGraph, EdgeList
 from .lca import (
@@ -86,6 +88,7 @@ from .obs import MetricRegistry, StageTimer, TraceRecorder, TraceTable
 from .service import (
     AnswerCache,
     BatchPolicy,
+    ClusterConfig,
     ClusterService,
     ClusterStats,
     CostModelDispatcher,
@@ -95,6 +98,7 @@ from .service import (
     IndexRegistry,
     LCAQueryService,
     Router,
+    ServiceConfig,
     ServiceStats,
 )
 from .workloads import (
@@ -109,7 +113,7 @@ from .workloads import (
     replay_chaos,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "__version__",
@@ -124,6 +128,7 @@ __all__ = [
     "service",
     "workloads",
     "obs",
+    "control",
     "errors",
     # most-used classes and functions
     "DeviceSpec",
@@ -155,10 +160,16 @@ __all__ = [
     "CostModelDispatcher",
     "ServiceStats",
     "AnswerCache",
+    # typed configuration surface
+    "ServiceConfig",
+    "ClusterConfig",
     # cluster serving
     "ClusterService",
     "ClusterStats",
     "Router",
+    # SLO-aware self-tuning
+    "SLO",
+    "Controller",
     # fault tolerance + elasticity
     "FaultEvent",
     "FaultInjector",

@@ -1,0 +1,24 @@
+"""SLO-aware self-tuning: declarative objectives driving live knobs.
+
+The serving stack's knobs (batch size, wait deadline, hedge delay,
+admission limit) were hand-set per benchmark; this package closes the loop
+from the stack's own signals back to those knobs:
+
+* :class:`~repro.control.slo.SLO` — a declarative objective spec (p99
+  bound, shed-rate ceiling, throughput floor, per-tenant priority
+  weights), serializable next to the configs it is enforced against;
+* :class:`~repro.control.controller.Controller` — the online loop: window
+  the metrics via :meth:`~repro.obs.metrics.MetricsSnapshot.delta`,
+  compare against the SLO, retune through the services'
+  ``apply_tuning()`` seam at a flush boundary.  Retuning never changes
+  answers — only when batches flush and what they cost.
+
+``repro.workloads.replay(..., controller=...)`` runs the loop during a
+scenario replay; ``benchmarks/bench_adaptive.py`` measures it against the
+best static configuration across the named scenario library.
+"""
+
+from .controller import WINDOW_BUCKETS_S, Controller, TuningDecision
+from .slo import SLO
+
+__all__ = ["SLO", "Controller", "TuningDecision", "WINDOW_BUCKETS_S"]

@@ -1,0 +1,375 @@
+"""The online controller: metric windows in, knob retunes out.
+
+:class:`Controller` closes the loop the rest of the stack left open: the
+services expose rich signals (:class:`~repro.service.ServiceStats`,
+:class:`~repro.service.ClusterStats`, the
+:mod:`~repro.obs.metrics` registry) and, since the config redesign, a
+hot-swap seam (``apply_tuning()``) — the controller watches the former and
+drives the latter against a declarative :class:`~repro.control.slo.SLO`.
+
+The loop, once per ``interval_s`` of simulated time:
+
+1. **Window the signals.**  The target's cumulative stats are re-expressed
+   as a fresh metric registry (the :func:`~repro.obs.metrics.
+   service_stats_metrics` / :func:`~repro.obs.metrics.cluster_stats_metrics`
+   adapters), plus a window-local latency histogram fed only the latency
+   values recorded since the previous observation.
+   :meth:`~repro.obs.metrics.MetricsSnapshot.delta` against the previous
+   snapshot turns cumulative counters into per-window counts; the window
+   p99 comes from :func:`~repro.obs.metrics.histogram_quantile` over the
+   window histogram.
+2. **Compare against the SLO** and pick a direction:
+
+   * *Deadline-aware flushing*: the wait-flush deadline is ``oldest
+     arrival + max_wait_s``, so clamping ``max_wait_s`` to a fraction of
+     the p99 bound (``wait_fraction``) guarantees a batch flushes before
+     its oldest admitted query has spent the latency budget queueing.
+   * *Shedding above bound / throughput below floor* → the system is
+     capacity-limited: double the batch size (bulk is cheaper per query on
+     the batch backend), restore the wait deadline to the budget, and —
+     with p99 headroom — raise the admission limit.  Capacity recovery
+     outranks the latency rule: under overload, shrinking batches only
+     deepens the backlog.
+   * *p99 violated* (and shedding within bound) → multiplicative backoff
+     on the wait deadline, the direct lever on the tail; the batch size —
+     which sets the cost per query — shrinks only once the wait is
+     already at its floor.
+   * *Deep p99 headroom* → probe upward: grow the batch size toward the
+     cost-optimal bulk regime; creep the wait deadline back toward the
+     budget when a violation pushed it down.
+3. **Apply** through ``apply_tuning()`` — the knobs swap at a flush
+   boundary, in-flight batches are untouched, and answers are bit-identical
+   to an untuned run by construction.
+4. **Priority lanes.**  With :attr:`~repro.control.slo.SLO.tenant_weights`
+   declared, each tenant's dataset lane gets a per-lane wait deadline of
+   ``effective_wait * (min_weight / weight)`` — heavier tenants flush
+   sooner — re-applied every epoch on top of the global policy.
+
+Every retune is recorded as a :class:`TuningDecision` in
+:attr:`Controller.decisions`, so a bench (or a test) can audit exactly
+when and why the controller moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..obs.metrics import (
+    HistogramValue,
+    MetricRegistry,
+    MetricsSnapshot,
+    cluster_stats_metrics,
+    histogram_quantile,
+    service_stats_metrics,
+)
+from ..service.cluster import ClusterService
+from ..service.service import LCAQueryService
+from .slo import SLO
+
+__all__ = ["Controller", "TuningDecision", "WINDOW_BUCKETS_S"]
+
+#: Factor-2 buckets, 1 us .. ~0.13 s: finer than the reporting buckets so
+#: the controller's p99 estimate tracks the bound it enforces.
+WINDOW_BUCKETS_S: Tuple[float, ...] = tuple(1e-6 * 2.0**i for i in range(18))
+
+_Target = Union[LCAQueryService, ClusterService]
+
+
+@dataclass(frozen=True)
+class TuningDecision:
+    """One applied retune: when, why, and the resulting knob values."""
+
+    #: Simulated time of the observation that triggered the retune.
+    at_s: float
+    #: Which rule fired: ``"p99"``, ``"shed"``, ``"throughput"``,
+    #: ``"probe"`` or ``"deadline-clamp"`` (comma-joined when several).
+    reason: str
+    #: Knob values after the retune.
+    max_batch_size: int
+    max_wait_s: float
+    max_pending: Optional[int]
+    #: The window measurements the decision was based on.
+    window_p99_s: float
+    window_shed_rate: float
+    window_throughput_qps: Optional[float]
+
+
+class Controller:
+    """Drives ``apply_tuning()`` from metric windows against an :class:`SLO`.
+
+    Parameters
+    ----------
+    slo:
+        The objectives to enforce.
+    interval_s:
+        Minimum simulated time between observations; calls inside the
+        interval return ``None`` without touching the target.
+    min_batch_size, max_batch_size, min_wait_s:
+        Safety rails for the AIMD rules.
+    wait_fraction:
+        Fraction of the p99 bound granted to queue waiting (the
+        deadline-aware flush budget).  The default leaves 20% of the
+        bound for batch service time — generous for this stack, where a
+        flushed batch serves in a few microseconds; lower it when service
+        time is a larger share of the budget.
+    max_pending_cap:
+        Ceiling the admission limit may be raised to.
+
+    >>> from repro.service import LCAQueryService
+    >>> ctl = Controller(SLO(p99_latency_s=1e-4), interval_s=0.0)
+    >>> svc = LCAQueryService()
+    >>> ctl.observe(svc, 0.0).reason    # wait deadline clamped to budget
+    'deadline-clamp'
+    >>> svc.policy.max_wait_s
+    8e-05
+    """
+
+    def __init__(
+        self,
+        slo: SLO,
+        *,
+        interval_s: float = 1e-3,
+        min_batch_size: int = 16,
+        max_batch_size: int = 4096,
+        min_wait_s: float = 2e-5,
+        wait_fraction: float = 0.8,
+        max_pending_cap: int = 65536,
+    ) -> None:
+        if interval_s < 0:
+            raise ValueError("interval_s must be non-negative")
+        if not 0 < min_batch_size <= max_batch_size:
+            raise ValueError("need 0 < min_batch_size <= max_batch_size")
+        if min_wait_s <= 0:
+            raise ValueError("min_wait_s must be positive")
+        if not 0.0 < wait_fraction <= 1.0:
+            raise ValueError("wait_fraction must be in (0, 1]")
+        self.slo = slo
+        self.interval_s = float(interval_s)
+        self.min_batch_size = int(min_batch_size)
+        self.max_batch_size = int(max_batch_size)
+        self.min_wait_s = float(min_wait_s)
+        self.wait_fraction = float(wait_fraction)
+        self.max_pending_cap = int(max_pending_cap)
+        #: Every applied retune, in order.
+        self.decisions: List[TuningDecision] = []
+        self._last_s: Optional[float] = None
+        self._prev: Optional[MetricsSnapshot] = None
+        self._consumed: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Signal windowing
+    # ------------------------------------------------------------------
+    def _window(
+        self, target: _Target, now_s: float
+    ) -> Tuple[float, float, Optional[float], float]:
+        """(p99_s, shed_rate, throughput_qps or None, answered) this window."""
+        is_cluster = isinstance(target, ClusterService)
+        reg = MetricRegistry()
+        if is_cluster:
+            cluster_stats_metrics(target.stats(), registry=reg)
+            workers: List[LCAQueryService] = list(target.replicas)
+        else:
+            service_stats_metrics(target.stats(), registry=reg)
+            workers = [target]
+        hist = reg.histogram(
+            "repro_window_latency_seconds",
+            "Latencies recorded this control window",
+            buckets=WINDOW_BUCKETS_S,
+        )
+        for index, worker in enumerate(workers):
+            values = worker.stats_collector.latency_values
+            start = self._consumed.get(index, 0)
+            if values.size > start:
+                hist.observe_many(values[start:])
+                self._consumed[index] = int(values.size)
+        snap = reg.snapshot()
+        delta = snap.delta(self._prev) if self._prev is not None else snap
+        prev_s = self._last_s
+        self._prev = snap
+
+        p99_s = 0.0
+        window_metric = snap.get("repro_window_latency_seconds")
+        if window_metric is not None and window_metric.series:
+            window_hist = window_metric.series[0][1]
+            assert isinstance(window_hist, HistogramValue)
+            p99_s = histogram_quantile(
+                window_hist, 0.99, buckets=WINDOW_BUCKETS_S
+            )
+
+        answered = self._sum(delta, "repro_queries_answered_total")
+        if is_cluster:
+            offered = self._sum(delta, "repro_cluster_queries_offered_total")
+            shed = self._sum(delta, "repro_cluster_queries_shed_total")
+        else:
+            offered, shed = answered, 0.0
+        shed_rate = shed / offered if offered > 0 else 0.0
+
+        throughput: Optional[float] = None
+        if prev_s is not None and now_s > prev_s:
+            throughput = answered / (now_s - prev_s)
+        return p99_s, shed_rate, throughput, answered
+
+    @staticmethod
+    def _sum(snapshot: MetricsSnapshot, name: str) -> float:
+        """Total of a counter across all its series (0.0 when absent)."""
+        metric = snapshot.get(name)
+        if metric is None:
+            return 0.0
+        return float(
+            sum(v for _, v in metric.series if not isinstance(v, HistogramValue))
+        )
+
+    # ------------------------------------------------------------------
+    # The control loop
+    # ------------------------------------------------------------------
+    def observe(
+        self, target: _Target, now_s: float
+    ) -> Optional[TuningDecision]:
+        """Observe one window and retune ``target`` if the SLO demands it.
+
+        Returns the applied :class:`TuningDecision`, or ``None`` when the
+        call landed inside ``interval_s`` of the previous observation or
+        the window required no change.  Priority lanes are (re)applied on
+        every observation that runs, whether or not the global knobs moved.
+        """
+        if self._last_s is not None and now_s - self._last_s < self.interval_s:
+            return None
+        p99_s, shed_rate, throughput, answered = self._window(target, now_s)
+        self._last_s = now_s
+
+        slo = self.slo
+        config = target.config
+        cur_batch = int(config.max_batch_size)
+        cur_wait = float(config.max_wait_s)
+        budget: Optional[float] = None
+        if slo.p99_latency_s is not None:
+            budget = self.wait_fraction * slo.p99_latency_s
+
+        new_batch, new_wait = cur_batch, cur_wait
+        reasons: List[str] = []
+
+        # Deadline-aware flushing: the wait deadline is oldest-arrival +
+        # max_wait_s, so a wait longer than the budget lets a batch's
+        # oldest query burn the whole p99 bound before it even flushes.
+        if budget is not None and new_wait > budget:
+            new_wait = max(self.min_wait_s, budget)
+            reasons.append("deadline-clamp")
+
+        p99_violated = slo.p99_latency_s is not None and p99_s > slo.p99_latency_s
+        shed_violated = (
+            slo.max_shed_rate is not None and shed_rate > slo.max_shed_rate
+        )
+        throughput_violated = (
+            slo.min_throughput_qps is not None
+            and throughput is not None
+            and throughput < slo.min_throughput_qps
+        )
+        p99_headroom = slo.p99_latency_s is None or p99_s < 0.8 * slo.p99_latency_s
+
+        new_pending: Optional[int] = None
+        if shed_violated or throughput_violated:
+            # Capacity-limited: bulk up (cheaper per query), restore the
+            # wait budget, and admit more if the tail can afford it.  This
+            # outranks the p99 rule — under overload, shrinking batches
+            # only deepens the backlog; the tail is reclaimed once
+            # shedding clears.
+            new_batch = min(self.max_batch_size, new_batch * 2)
+            if budget is not None:
+                new_wait = max(self.min_wait_s, budget)
+            if (
+                isinstance(target, ClusterService)
+                and config.max_pending is not None
+                and p99_headroom
+            ):
+                new_pending = min(
+                    self.max_pending_cap, config.max_pending * 3 // 2
+                )
+                if new_pending == config.max_pending:
+                    new_pending = None
+            reasons.append("shed" if shed_violated else "throughput")
+        elif p99_violated:
+            # Latency backoff: the wait deadline is the direct lever on
+            # the tail, so halve it first and keep batches large (large
+            # batches are cheap per query and a shorter deadline flushes
+            # them early anyway).  Only shrink batches once the wait is
+            # already at its floor.
+            shorter_wait = max(self.min_wait_s, new_wait / 2.0)
+            if shorter_wait < new_wait:
+                new_wait = shorter_wait
+            else:
+                new_batch = max(self.min_batch_size, new_batch // 2)
+            reasons.append("p99")
+        elif (
+            answered > 0  # an empty window says nothing about the tail
+            and slo.p99_latency_s is not None
+            and p99_s < 0.5 * slo.p99_latency_s
+            and new_batch < self.max_batch_size
+        ):
+            new_batch = min(self.max_batch_size, new_batch * 2)
+            reasons.append("probe")
+
+        if not (p99_violated or shed_violated or throughput_violated):
+            # Additive-ish re-growth: a wait shorter than the budget means
+            # batches flush before they must — creep back up (1.25x per
+            # window) toward the budget, where batching is cheapest while
+            # the deadline guarantee still holds.
+            if budget is not None and new_wait < budget:
+                new_wait = min(budget, new_wait * 1.25)
+                reasons.append("wait-probe")
+
+        decision: Optional[TuningDecision] = None
+        changed = (
+            new_batch != cur_batch
+            or new_wait != cur_wait
+            or new_pending is not None
+        )
+        if changed:
+            if isinstance(target, ClusterService):
+                target.apply_tuning(
+                    max_batch_size=new_batch,
+                    max_wait_s=new_wait,
+                    max_pending=new_pending,
+                )
+            else:
+                target.apply_tuning(
+                    max_batch_size=new_batch, max_wait_s=new_wait
+                )
+            decision = TuningDecision(
+                at_s=float(now_s),
+                reason=",".join(reasons),
+                max_batch_size=new_batch,
+                max_wait_s=new_wait,
+                max_pending=(
+                    new_pending
+                    if new_pending is not None
+                    else getattr(target.config, "max_pending", None)
+                ),
+                window_p99_s=p99_s,
+                window_shed_rate=shed_rate,
+                window_throughput_qps=throughput,
+            )
+            self.decisions.append(decision)
+
+        self._apply_lanes(target, new_wait)
+        return decision
+
+    def _apply_lanes(self, target: _Target, effective_wait_s: float) -> None:
+        """Re-apply per-tenant wait deadlines on top of the global policy.
+
+        Heavier tenants get proportionally shorter lanes:
+        ``lane_wait = effective_wait * (min_weight / weight)``.  The
+        heaviest declared tenant therefore flushes first under load; no
+        lane ever waits longer than the global (budget-clamped) deadline.
+        """
+        weights = self.slo.tenant_weights
+        if not weights:
+            return
+        min_weight = min(weight for _, weight in weights)
+        for dataset, weight in weights:
+            if dataset not in target.datasets:
+                continue
+            lane_wait = max(
+                self.min_wait_s, effective_wait_s * (min_weight / weight)
+            )
+            target.apply_tuning(dataset=dataset, max_wait_s=lane_wait)

@@ -29,11 +29,12 @@ from ..service import (
     GPU_BATCH_BACKEND,
     ROUTER_POLICIES,
     BatchPolicy,
+    ClusterConfig,
     ClusterService,
     CostModelDispatcher,
     LCAQueryService,
+    ServiceConfig,
     estimate_batch_query_time,
-    make_router,
 )
 from ..workloads import SCENARIOS, make_scenario, replay
 
@@ -63,7 +64,12 @@ def serve_query_stream(parents: np.ndarray, xs: np.ndarray, ys: np.ndarray,
     When ``check_answers`` is set the service's answers are verified against
     the binary-lifting oracle (slower; meant for tests and spot checks).
     """
-    service = LCAQueryService(policy=policy, dispatcher=CostModelDispatcher())
+    service = LCAQueryService(
+        config=ServiceConfig(
+            max_batch_size=policy.max_batch_size, max_wait_s=policy.max_wait_s
+        ),
+        dispatcher=CostModelDispatcher(),
+    )
     service.register_tree("stream", parents)
     tickets = service.submit_many("stream", xs, ys, at=arrivals_s)
     service.drain()
@@ -116,7 +122,12 @@ def wallclock_serve_run(parents: np.ndarray, xs: np.ndarray, ys: np.ndarray,
     """
     if mode not in ("columnar", "per-query"):
         raise ServiceError(f"unknown admission mode {mode!r}")
-    service = LCAQueryService(policy=policy, dispatcher=CostModelDispatcher())
+    service = LCAQueryService(
+        config=ServiceConfig(
+            max_batch_size=policy.max_batch_size, max_wait_s=policy.max_wait_s
+        ),
+        dispatcher=CostModelDispatcher(),
+    )
     if observer is not None:
         from ..obs.events import TraceRecorder
         if not isinstance(observer, TraceRecorder):
@@ -204,12 +215,13 @@ def replica_scaling_sweep(
     rows: List[Dict[str, object]] = []
     for policy_name in policies:
         for n_replicas in replica_counts:
-            cluster = ClusterService(
-                int(n_replicas),
-                policy=policy,
-                router=make_router(policy_name),
+            cluster = ClusterService(config=ClusterConfig(
+                n_replicas=int(n_replicas),
+                max_batch_size=policy.max_batch_size,
+                max_wait_s=policy.max_wait_s,
+                router=policy_name,
                 max_pending=max_pending,
-            )
+            ))
             cluster.register_tree("hot", parents, replicas=int(n_replicas))
             cluster.warm("hot")
             tickets = []
@@ -286,14 +298,15 @@ def scenario_suite(
     rows: List[Dict[str, object]] = []
     for policy_name in policies:
         for name in names:
-            cluster = ClusterService(
-                int(n_replicas),
-                policy=policy,
-                router=make_router(policy_name),
+            cluster = ClusterService(config=ClusterConfig(
+                n_replicas=int(n_replicas),
+                max_batch_size=policy.max_batch_size,
+                max_wait_s=policy.max_wait_s,
+                router=policy_name,
                 max_pending=max_pending,
                 dedup=dedup,
                 answer_cache_bytes=answer_cache_bytes,
-            )
+            ))
             report = replay(
                 cluster,
                 make_scenario(name, scale=scale, seed=seed),

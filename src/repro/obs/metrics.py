@@ -41,6 +41,7 @@ __all__ = [
     "MetricSnapshot",
     "MetricsSnapshot",
     "MetricRegistry",
+    "histogram_quantile",
     "service_stats_metrics",
     "cluster_stats_metrics",
 ]
@@ -414,6 +415,46 @@ class MetricRegistry:
         return MetricsSnapshot(
             metrics=tuple(m.snapshot() for m in self._metrics.values())
         )
+
+
+def histogram_quantile(
+    value: HistogramValue,
+    q: float,
+    *,
+    buckets: Tuple[float, ...] = LATENCY_BUCKETS_S,
+) -> float:
+    """Estimate the ``q``-quantile of a :class:`HistogramValue`.
+
+    The Prometheus ``histogram_quantile`` estimator: find the bucket where
+    the cumulative count first reaches ``q * count`` and interpolate
+    linearly within it (the first bucket interpolates from zero; the
+    overflow bucket clamps to the last finite bound, which is all a
+    fixed-bucket histogram can say about its tail).  The estimate is
+    bucket-resolution coarse by construction — callers compare it against
+    bounds, they do not report it as a measured latency.
+
+    >>> h = Histogram("lat", "demo", buckets=(1.0, 2.0, 4.0))
+    >>> h.observe_many([0.5, 1.5, 1.5, 3.0])
+    >>> histogram_quantile(h.snapshot().series[0][1], 0.5, buckets=(1.0, 2.0, 4.0))
+    1.5
+    """
+    if not 0.0 < q <= 1.0:
+        raise ServiceError("quantile q must be in (0, 1]")
+    if value.count <= 0:
+        return 0.0
+    rank = q * value.count
+    cumulative = 0
+    for i, n in enumerate(value.bucket_counts):
+        if n == 0:
+            continue
+        lo = buckets[i - 1] if 0 < i <= len(buckets) else 0.0
+        if cumulative + n >= rank:
+            if i >= len(buckets):  # overflow bucket: clamp to last bound
+                return float(buckets[-1])
+            hi = buckets[i]
+            return float(lo + (hi - lo) * (rank - cumulative) / n)
+        cumulative += n
+    return float(buckets[-1])
 
 
 # ----------------------------------------------------------------------

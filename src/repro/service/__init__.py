@@ -54,6 +54,7 @@ from .cache import (
 )
 from .clock import SimulatedClock
 from .cluster import ClusterService, ClusterStats
+from .config import ClusterConfig, ServiceConfig
 from .dispatch import (
     CPU_SEQUENTIAL_BACKEND,
     DEFAULT_BACKENDS,
@@ -107,6 +108,9 @@ __all__ = [
     "StatsCollector",
     "batch_size_bucket",
     "LCAQueryService",
+    # typed configuration surface
+    "ServiceConfig",
+    "ClusterConfig",
     # skew-aware fast path
     "AnswerCache",
     "ANSWER_CACHE_PROBE_COST",

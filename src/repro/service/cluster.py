@@ -82,9 +82,10 @@ from ..obs.events import (
 )
 from .cache import MIN_CACHE_BYTES
 from .clock import SimulatedClock
+from .config import ClusterConfig, ServiceConfig
 from .dispatch import CostModelDispatcher
 from .faults import FaultEvent, FaultInjector
-from .routing import HashRing, LeastOutstandingRouter, Router
+from .routing import HashRing, LeastOutstandingRouter, Router, make_router
 from .scheduler import BatchPolicy, FlushedBatch
 from .service import LCAQueryService, block_clean_prefix
 from .stats import ServiceStats, dedup_factor, grow_table, hit_rate
@@ -242,11 +243,22 @@ class ClusterService:
     n_replicas:
         Number of replica workers.  Each owns its schedulers, dispatcher
         (hence its own modeled CPU/GPU pair) and index-registry slice.
+    config:
+        A :class:`~repro.service.config.ClusterConfig` carrying every
+        serializable knob (including ``n_replicas`` and the router policy
+        name) in one value.  Mutually exclusive with ``n_replicas`` and
+        the legacy per-knob kwargs: passing ``config=`` together with any
+        of them raises :class:`~repro.errors.ServiceError`.  Either way
+        the cluster normalizes onto one internal config, exposed as
+        :attr:`config`.
     policy:
         Micro-batching policy applied to every worker's schedulers.
     router:
-        Routing policy choosing which copy of a dataset serves each query;
-        defaults to :class:`~repro.service.routing.LeastOutstandingRouter`.
+        Routing policy choosing which copy of a dataset serves each query:
+        a :class:`~repro.service.routing.Router` instance or one of the
+        :data:`~repro.service.routing.ROUTER_POLICIES` string keys
+        (resolved through :func:`~repro.service.routing.make_router`).
+        Defaults to :class:`~repro.service.routing.LeastOutstandingRouter`.
     dispatcher_factory:
         Zero-argument callable building each worker's dispatcher (called
         once per replica so workers never share memoization state).
@@ -300,71 +312,121 @@ class ClusterService:
 
     def __init__(
         self,
-        n_replicas: int,
+        n_replicas: Optional[int] = None,
         *,
+        config: Optional[ClusterConfig] = None,
         policy: Optional[BatchPolicy] = None,
-        router: Optional[Router] = None,
+        router: Optional[Union[Router, str]] = None,
         dispatcher_factory: Optional[Callable[[], CostModelDispatcher]] = None,
         capacity_bytes: Optional[int] = None,
         max_pending: Optional[int] = None,
-        start_time: float = 0.0,
-        dedup: bool = False,
+        start_time: Optional[float] = None,
+        dedup: Optional[bool] = None,
         answer_cache_bytes: Optional[int] = None,
         observer: Optional[TraceRecorder] = None,
         fault_injector: Optional[FaultInjector] = None,
         hedge_delay_s: Optional[float] = None,
-        max_retries: int = 3,
+        max_retries: Optional[int] = None,
     ) -> None:
-        n_replicas = int(n_replicas)
-        if n_replicas < 1:
-            raise ServiceError("a cluster needs at least one replica")
-        if max_pending is not None and int(max_pending) < 1:
-            raise ServiceError("max_pending must be positive (or None)")
-        if hedge_delay_s is not None and float(hedge_delay_s) <= 0:
-            raise ServiceError("hedge_delay_s must be positive (or None)")
-        if int(max_retries) < 1:
-            raise ServiceError("max_retries must be at least 1")
-        self.router: Router = router if router is not None else LeastOutstandingRouter()
-        self.ring = HashRing(range(n_replicas))
-        self.clock = SimulatedClock(start_time)
-        self._max_pending = None if max_pending is None else int(max_pending)
+        # Single normalization path: legacy kwargs build the same
+        # ClusterConfig a config= caller passes, and everything below reads
+        # from the config.  A custom Router *instance* is the one knob a
+        # config cannot carry (it is not serializable); the instance is
+        # used directly and the config records its policy name.
+        router_obj: Optional[Router] = None
+        if config is not None:
+            conflicts = [
+                name for name, given in (
+                    ("n_replicas", n_replicas is not None),
+                    ("policy", policy is not None),
+                    ("router", router is not None),
+                    ("capacity_bytes", capacity_bytes is not None),
+                    ("max_pending", max_pending is not None),
+                    ("start_time", start_time is not None),
+                    ("dedup", dedup is not None),
+                    ("answer_cache_bytes", answer_cache_bytes is not None),
+                    ("hedge_delay_s", hedge_delay_s is not None),
+                    ("max_retries", max_retries is not None),
+                ) if given
+            ]
+            if conflicts:
+                raise ServiceError(
+                    f"pass configuration via config= or the legacy kwargs, "
+                    f"not both (conflicting: {', '.join(conflicts)})"
+                )
+            router_obj = make_router(config.router)
+        else:
+            if n_replicas is None:
+                raise ServiceError(
+                    "pass n_replicas (or a full ClusterConfig via config=)"
+                )
+            if isinstance(router, str):
+                router_obj = make_router(router)
+            elif router is not None:
+                router_obj = router
+            else:
+                router_obj = LeastOutstandingRouter()
+            base = policy or BatchPolicy()
+            config = ClusterConfig(
+                n_replicas=int(n_replicas),
+                max_batch_size=base.max_batch_size,
+                max_wait_s=base.max_wait_s,
+                router=router_obj.name,
+                capacity_bytes=capacity_bytes,
+                max_pending=max_pending,
+                start_time=0.0 if start_time is None else float(start_time),
+                dedup=bool(dedup) if dedup is not None else False,
+                answer_cache_bytes=answer_cache_bytes,
+                hedge_delay_s=hedge_delay_s,
+                max_retries=3 if max_retries is None else int(max_retries),
+            )
+        self.config = config
+        n_workers = int(config.n_replicas)
+        self.router: Router = router_obj
+        self.ring = HashRing(range(n_workers))
+        self.clock = SimulatedClock(config.start_time)
+        self._max_pending = config.max_pending
         factory = dispatcher_factory or CostModelDispatcher
-        index_budget = None if capacity_bytes is None else int(capacity_bytes)
-        if answer_cache_bytes is None:
+        index_budget = (None if config.capacity_bytes is None
+                        else int(config.capacity_bytes))
+        if config.answer_cache_bytes is None:
             cache_slice = None
         else:
-            answer_cache_bytes = int(answer_cache_bytes)
-            if answer_cache_bytes < n_replicas * MIN_CACHE_BYTES:
+            cache_bytes = int(config.answer_cache_bytes)
+            if cache_bytes < n_workers * MIN_CACHE_BYTES:
                 raise ServiceError(
-                    f"answer_cache_bytes={answer_cache_bytes} is too small "
-                    f"to give each of {n_replicas} replicas the "
+                    f"answer_cache_bytes={cache_bytes} is too small "
+                    f"to give each of {n_workers} replicas the "
                     f"{MIN_CACHE_BYTES}-byte cache minimum"
                 )
             if index_budget is not None:
                 # The answer caches are carved out of the cluster-wide byte
                 # budget; the index registries split what remains.
-                index_budget -= answer_cache_bytes
+                index_budget -= cache_bytes
                 if index_budget <= 0:
                     raise ServiceError(
-                        f"answer_cache_bytes={answer_cache_bytes} consumes "
-                        f"the whole capacity_bytes={capacity_bytes} budget; "
-                        f"nothing is left for the index caches"
+                        f"answer_cache_bytes={cache_bytes} consumes "
+                        f"the whole capacity_bytes={config.capacity_bytes} "
+                        f"budget; nothing is left for the index caches"
                     )
-            cache_slice = answer_cache_bytes // n_replicas
+            cache_slice = cache_bytes // n_workers
         if index_budget is None:
             slice_bytes = None
         else:
-            slice_bytes = max(1, index_budget // n_replicas)
+            slice_bytes = max(1, index_budget // n_workers)
+        # The per-worker config (cluster budgets already carved into
+        # per-replica slices); add_replica() mints from it, and
+        # apply_tuning() keeps it current so late joiners arrive tuned.
+        self._worker_config = config.service_config(
+            capacity_bytes=slice_bytes, answer_cache_bytes=cache_slice
+        )
         self._replicas: Tuple[LCAQueryService, ...] = tuple(
             LCAQueryService(
-                policy=policy,
+                config=self._worker_config,
                 dispatcher=factory(),
-                capacity_bytes=slice_bytes,
-                clock=SimulatedClock(start_time),
-                dedup=dedup,
-                answer_cache_bytes=cache_slice,
+                clock=SimulatedClock(config.start_time),
             )
-            for _ in range(n_replicas)
+            for _ in range(n_workers)
         )
         self._placement: Dict[str, Tuple[int, ...]] = {}
         self._sizes: Dict[str, Optional[int]] = {}
@@ -380,17 +442,14 @@ class ClusterService:
         # per-replica byte slices are fixed at construction and are not
         # re-split when the cluster grows or shrinks.
         self.fault_injector = fault_injector
-        self._hedge_delay_s = None if hedge_delay_s is None else float(hedge_delay_s)
-        self._max_retries = int(max_retries)
-        self._batch_policy = policy
+        self._hedge_delay_s = (None if config.hedge_delay_s is None
+                               else float(config.hedge_delay_s))
+        self._max_retries = int(config.max_retries)
         self._dispatcher_factory = factory
-        self._slice_bytes = slice_bytes
-        self._cache_slice = cache_slice
-        self._dedup = dedup
-        self._alive: List[bool] = [True] * n_replicas
-        self._retired: List[bool] = [False] * n_replicas
+        self._alive: List[bool] = [True] * n_workers
+        self._retired: List[bool] = [False] * n_workers
         self._all_alive = True
-        self._transient: List[int] = [0] * n_replicas
+        self._transient: List[int] = [0] * n_workers
         self._failed: List[Tuple[int, str, FlushedBatch, np.ndarray]] = []
         self._parked: List[
             Tuple[str, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
@@ -607,12 +666,9 @@ class ClusterService:
         """
         rid = len(self._replicas)
         worker = LCAQueryService(
-            policy=self._batch_policy,
+            config=self._worker_config,
             dispatcher=self._dispatcher_factory(),
-            capacity_bytes=self._slice_bytes,
             clock=SimulatedClock(self.clock.now),
-            dedup=self._dedup,
-            answer_cache_bytes=self._cache_slice,
         )
         self._replicas = self._replicas + (worker,)
         self._alive.append(True)
@@ -1150,6 +1206,87 @@ class ClusterService:
             faults_injected=self._faults_applied,
             membership_events=self._membership_events,
         )
+
+    # ------------------------------------------------------------------
+    # Online tuning
+    # ------------------------------------------------------------------
+    def apply_tuning(self, *, max_batch_size: Optional[int] = None,
+                     max_wait_s: Optional[float] = None,
+                     hedge_delay_s: Optional[float] = None,
+                     max_pending: Optional[int] = None,
+                     dataset: Optional[str] = None) -> ClusterConfig:
+        """Hot-swap the safe-to-retune knobs cluster-wide at a flush boundary.
+
+        The cluster's :attr:`ClusterConfig.TUNABLE` subset: the batching
+        knobs are forwarded to every worker's
+        :meth:`LCAQueryService.apply_tuning` (batches the swap forces out
+        are served immediately; in-flight batches are untouched), the
+        hedge delay takes effect for every *subsequent* straggling batch
+        (hooks are installed on demand when hedging turns on mid-run), and
+        the admission limit re-prices the very next submission.  ``None``
+        leaves a knob unchanged — tuning can therefore tighten or loosen
+        hedging and admission but never disable them (that is a structural
+        choice made at construction).  Newly minted replicas
+        (:meth:`add_replica`) arrive with the tuned configuration.
+
+        ``dataset`` scopes the swap to one dataset's lane on its placement
+        copies (a priority lane) and accepts only the batching knobs;
+        cluster-wide knobs with ``dataset=`` raise
+        :class:`~repro.errors.ServiceError`.
+
+        Returns :attr:`config` after the call.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2, max_pending=64)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]))
+        >>> cluster.apply_tuning(max_batch_size=32,
+        ...                      max_pending=128).max_pending
+        128
+        >>> cluster.replicas[0].policy.max_batch_size
+        32
+        """
+        changes: Dict[str, object] = {}
+        batch_changes: Dict[str, object] = {}
+        if max_batch_size is not None:
+            changes["max_batch_size"] = int(max_batch_size)
+            batch_changes["max_batch_size"] = int(max_batch_size)
+        if max_wait_s is not None:
+            changes["max_wait_s"] = float(max_wait_s)
+            batch_changes["max_wait_s"] = float(max_wait_s)
+        if hedge_delay_s is not None:
+            changes["hedge_delay_s"] = float(hedge_delay_s)
+        if max_pending is not None:
+            changes["max_pending"] = int(max_pending)
+        if dataset is not None and len(batch_changes) != len(changes):
+            raise ServiceError(
+                "dataset-scoped tuning accepts only max_batch_size and "
+                "max_wait_s; hedge_delay_s and max_pending are cluster-wide"
+            )
+        if not changes:
+            return self.config
+        if dataset is not None:
+            for c in self._copies(dataset):
+                self._replicas[c].apply_tuning(dataset=dataset,
+                                               **batch_changes)  # type: ignore[arg-type]
+            self._drain_failed()
+            return self.config
+        self.config = self.config.derive(**changes)
+        if hedge_delay_s is not None:
+            newly_hedged = self._hedge_delay_s is None
+            self._hedge_delay_s = float(hedge_delay_s)
+            if newly_hedged:
+                for i, worker in enumerate(self._replicas):
+                    worker.set_hedge_hook(self._make_hedge_hook(i))
+        if max_pending is not None:
+            self._max_pending = int(max_pending)
+        if batch_changes:
+            self._worker_config = self._worker_config.derive(**batch_changes)
+            for worker in self._replicas:
+                worker.apply_tuning(**batch_changes)  # type: ignore[arg-type]
+            # A forced flush can be claimed by a serve interceptor (dead or
+            # failing replica): re-dispatch exactly as any serve path does.
+            self._drain_failed()
+        return self.config
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,0 +1,251 @@
+"""Typed, serializable configuration objects for the serving stack.
+
+The serving layers grew one keyword argument at a time:
+:class:`~repro.service.service.LCAQueryService` and
+:class:`~repro.service.cluster.ClusterService` each take a hand-set sprawl
+of knobs (batch policy, cache budgets, dedup, admission limit, hedging,
+retries, router policy).  :class:`ServiceConfig` and :class:`ClusterConfig`
+consolidate that sprawl into frozen dataclasses that
+
+* validate eagerly (construction reuses the same checks the services run,
+  so a bad config fails where it is written, not where it is used);
+* derive cheaply — :meth:`ServiceConfig.derive` is ``dataclasses.replace``
+  with validation, the idiom for "this run, but with a bigger batch";
+* round-trip through plain dicts and JSON
+  (:meth:`ServiceConfig.to_dict` / :meth:`ServiceConfig.from_json`), so a
+  benchmark manifest can pin the exact configuration it measured;
+* name the *safe-to-retune* subset (:attr:`ServiceConfig.TUNABLE`): the
+  knobs ``apply_tuning()`` may hot-swap at a flush boundary while a replay
+  is in flight.  Structural knobs (cache budgets, replica count, dedup)
+  are deliberately excluded — changing them would invalidate carved-out
+  byte budgets or already-issued tickets.
+
+Router policies are stored as string keys (the
+:data:`~repro.service.routing.ROUTER_POLICIES` names), which is what makes
+:class:`ClusterConfig` fully serializable.
+
+>>> cfg = ServiceConfig(max_batch_size=256, max_wait_s=2e-4)
+>>> cfg.derive(max_batch_size=512).max_batch_size
+512
+>>> ServiceConfig.from_json(cfg.to_json()) == cfg
+True
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, ClassVar, Dict, FrozenSet, Optional, Type, TypeVar
+
+from ..errors import ServiceError
+from .routing import LeastOutstandingRouter
+from .scheduler import BatchPolicy
+
+__all__ = ["ServiceConfig", "ClusterConfig"]
+
+C = TypeVar("C", bound="_ConfigBase")
+
+
+@dataclass(frozen=True)
+class _ConfigBase:
+    """Shared derivation + serialization machinery of the config objects."""
+
+    #: Field names ``apply_tuning()`` may hot-swap mid-stream (subclasses
+    #: override; everything else is fixed at construction).
+    TUNABLE: ClassVar[FrozenSet[str]] = frozenset()
+
+    def derive(self: C, **changes: Any) -> C:
+        """A copy with ``changes`` applied (``dataclasses.replace`` + checks).
+
+        >>> ServiceConfig().derive(max_wait_s=5e-4).max_wait_s
+        0.0005
+        >>> ServiceConfig().derive(max_batch_size=0)
+        Traceback (most recent call last):
+            ...
+        repro.errors.ServiceError: max_batch_size must be at least 1
+        """
+        unknown = set(changes) - {f.name for f in dataclasses.fields(self)}
+        if unknown:
+            raise ServiceError(
+                f"unknown {type(self).__name__} fields: {sorted(unknown)}"
+            )
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The config as a plain dict (JSON-safe; bench-manifest shape).
+
+        >>> ServiceConfig(max_batch_size=64).to_dict()["max_batch_size"]
+        64
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls: Type[C], data: Dict[str, Any]) -> C:
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Unknown keys raise :class:`~repro.errors.ServiceError` — a manifest
+        written by a different version should fail loudly, not half-apply.
+
+        >>> ServiceConfig.from_dict({"max_batch_size": 64}).max_batch_size
+        64
+        >>> ServiceConfig.from_dict({"max_batch": 64})
+        Traceback (most recent call last):
+            ...
+        repro.errors.ServiceError: unknown ServiceConfig fields: ['max_batch']
+        """
+        unknown = set(data) - {f.name for f in dataclasses.fields(cls)}
+        if unknown:
+            raise ServiceError(
+                f"unknown {cls.__name__} fields: {sorted(unknown)}"
+            )
+        return cls(**data)
+
+    def to_json(self) -> str:
+        """The config as a JSON string (stable key order)."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls: Type[C], text: str) -> C:
+        """Rebuild a config from :meth:`to_json` output."""
+        data = json.loads(text)
+        if not isinstance(data, dict):
+            raise ServiceError(
+                f"{cls.__name__} JSON must be an object, got {type(data).__name__}"
+            )
+        return cls.from_dict(data)
+
+
+@dataclass(frozen=True)
+class ServiceConfig(_ConfigBase):
+    """Everything a :class:`LCAQueryService` is configured by, in one value.
+
+    The non-serializable collaborators (store, dispatcher, clock, observer)
+    stay constructor arguments — they are live objects, not configuration.
+
+    >>> cfg = ServiceConfig(max_batch_size=128, max_wait_s=1e-4, dedup=True)
+    >>> cfg.batch_policy()
+    BatchPolicy(max_batch_size=128, max_wait_s=0.0001)
+    >>> sorted(ServiceConfig.TUNABLE)
+    ['max_batch_size', 'max_wait_s']
+    """
+
+    #: Micro-batching knobs (see :class:`~repro.service.scheduler.BatchPolicy`).
+    max_batch_size: int = 1024
+    max_wait_s: float = 1e-3
+    #: Index-cache byte budget (``None`` = unbounded).
+    capacity_bytes: Optional[int] = None
+    #: Skew-aware canonicalization + intra-batch dedup path.
+    dedup: bool = False
+    #: Answer-cache byte budget (``None`` disables; implies ``dedup``).
+    answer_cache_bytes: Optional[int] = None
+    answer_cache_seed: int = 0
+    #: Pre-sizing of the ticket-indexed result tables (``None`` = grow).
+    ticket_capacity: Optional[int] = None
+
+    TUNABLE: ClassVar[FrozenSet[str]] = frozenset(
+        {"max_batch_size", "max_wait_s"}
+    )
+
+    def __post_init__(self) -> None:
+        # BatchPolicy owns the batching-knob invariants; constructing one
+        # here means config validation can never drift from the scheduler's.
+        BatchPolicy(max_batch_size=self.max_batch_size,
+                    max_wait_s=self.max_wait_s)
+        if self.capacity_bytes is not None and int(self.capacity_bytes) < 1:
+            raise ServiceError("capacity_bytes must be positive (or None)")
+        if self.ticket_capacity is not None and int(self.ticket_capacity) < 0:
+            raise ServiceError("ticket_capacity must be non-negative (or None)")
+
+    def batch_policy(self) -> BatchPolicy:
+        """The :class:`BatchPolicy` this config describes.
+
+        >>> ServiceConfig(max_batch_size=8).batch_policy().max_batch_size
+        8
+        """
+        return BatchPolicy(max_batch_size=self.max_batch_size,
+                           max_wait_s=self.max_wait_s)
+
+
+@dataclass(frozen=True)
+class ClusterConfig(_ConfigBase):
+    """Everything a :class:`ClusterService` is configured by, in one value.
+
+    ``router`` is a policy *name* (one of
+    :data:`~repro.service.routing.ROUTER_POLICIES`, resolved through
+    :func:`~repro.service.routing.make_router` at construction), not an
+    instance — that is what keeps the whole config JSON-serializable.  A
+    custom :class:`~repro.service.routing.Router` instance can still be
+    passed to :class:`ClusterService` via the legacy ``router=`` kwarg.
+
+    >>> cfg = ClusterConfig(n_replicas=4, router="round-robin",
+    ...                     max_pending=8192)
+    >>> ClusterConfig.from_dict(cfg.to_dict()) == cfg
+    True
+    >>> sorted(ClusterConfig.TUNABLE)
+    ['hedge_delay_s', 'max_batch_size', 'max_pending', 'max_wait_s']
+    """
+
+    n_replicas: int = 4
+    #: Micro-batching knobs applied to every replica worker's schedulers.
+    max_batch_size: int = 1024
+    max_wait_s: float = 1e-3
+    #: Router policy name (see :data:`ROUTER_POLICIES`).
+    router: str = LeastOutstandingRouter.name
+    #: Cluster-wide cache byte budget, split across the workers.
+    capacity_bytes: Optional[int] = None
+    #: Cluster-wide bound on queued queries (``None`` = no admission control).
+    max_pending: Optional[int] = None
+    start_time: float = 0.0
+    dedup: bool = False
+    #: Cluster-wide answer-cache budget, split per replica (implies dedup).
+    answer_cache_bytes: Optional[int] = None
+    #: Hedged-dispatch delay (``None`` disables hedging).
+    hedge_delay_s: Optional[float] = None
+    max_retries: int = 3
+
+    TUNABLE: ClassVar[FrozenSet[str]] = frozenset(
+        {"max_batch_size", "max_wait_s", "hedge_delay_s", "max_pending"}
+    )
+
+    def __post_init__(self) -> None:
+        BatchPolicy(max_batch_size=self.max_batch_size,
+                    max_wait_s=self.max_wait_s)
+        if int(self.n_replicas) < 1:
+            raise ServiceError("a cluster needs at least one replica")
+        if self.max_pending is not None and int(self.max_pending) < 1:
+            raise ServiceError("max_pending must be positive (or None)")
+        if self.hedge_delay_s is not None and float(self.hedge_delay_s) <= 0:
+            raise ServiceError("hedge_delay_s must be positive (or None)")
+        if int(self.max_retries) < 1:
+            raise ServiceError("max_retries must be at least 1")
+        if self.capacity_bytes is not None and int(self.capacity_bytes) < 1:
+            raise ServiceError("capacity_bytes must be positive (or None)")
+
+    def batch_policy(self) -> BatchPolicy:
+        """The :class:`BatchPolicy` every worker's schedulers run under.
+
+        >>> ClusterConfig(max_wait_s=2e-4).batch_policy().max_wait_s
+        0.0002
+        """
+        return BatchPolicy(max_batch_size=self.max_batch_size,
+                           max_wait_s=self.max_wait_s)
+
+    def service_config(self, *, capacity_bytes: Optional[int] = None,
+                       answer_cache_bytes: Optional[int] = None
+                       ) -> ServiceConfig:
+        """The per-worker :class:`ServiceConfig` this cluster config implies.
+
+        The cluster carves its cluster-wide byte budgets into per-replica
+        slices; callers pass the already-carved slices here.
+
+        >>> ClusterConfig(dedup=True).service_config().dedup
+        True
+        """
+        return ServiceConfig(
+            max_batch_size=self.max_batch_size,
+            max_wait_s=self.max_wait_s,
+            capacity_bytes=capacity_bytes,
+            dedup=self.dedup,
+            answer_cache_bytes=answer_cache_bytes,
+        )

@@ -390,6 +390,43 @@ class MicroBatchScheduler:
             out.append(self._flush(self.clock.now, "drain"))
         return out
 
+    def retune(self, policy: BatchPolicy) -> List[FlushedBatch]:
+        """Hot-swap the batch policy; return the batches the swap forces out.
+
+        The swap happens at a flush boundary (the current simulated
+        instant): already-flushed batches are untouched, and the pending
+        window is re-judged under the new policy exactly as if it had been
+        in force all along —
+
+        * a shrunk ``max_wait_s`` can make the oldest pending queries
+          *late*; they flush with the ``wait`` trigger at their new
+          (possibly already-passed) deadlines, oldest first, just as
+          :meth:`advance_to` would have flushed them;
+        * a shrunk ``max_batch_size`` can make the pending window
+          *oversized*; size-complete batches flush at the current instant
+          until the remainder fits.
+
+        Deadlines landing exactly on the current instant stay pending (the
+        same ``include_equal=False`` rule as the submit path), so a
+        same-instant arrival after the retune can still join them.  The
+        caller (the service layer) serves the returned batches.
+
+        >>> s = MicroBatchScheduler(BatchPolicy(max_batch_size=8,
+        ...                                     max_wait_s=1.0))
+        >>> for i in range(3):
+        ...     _ = s.submit(i, 1, 2, at=i * 1e-4)
+        >>> batches = s.retune(BatchPolicy(max_batch_size=2, max_wait_s=1.0))
+        >>> [(b.trigger, b.size) for b in batches]
+        [('size', 2)]
+        >>> s.pending_count
+        1
+        """
+        self.policy = policy
+        out = self._flush_expired(self.clock.now, include_equal=False)
+        while self._tail - self._head >= policy.max_batch_size:
+            out.append(self._flush(self.clock.now, "size"))
+        return out
+
     def evict(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Remove the pending window without serving it; return its columns.
 

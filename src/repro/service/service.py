@@ -69,6 +69,7 @@ from ..obs.events import (
 )
 from .cache import AnswerCache, answer_cache_probe_time
 from .clock import SimulatedClock
+from .config import ServiceConfig
 from .dispatch import Backend, CostModelDispatcher
 from .registry import ArtifactKey, ForestStore, IndexRegistry
 from .scheduler import BatchPolicy, FlushedBatch, MicroBatchScheduler
@@ -134,6 +135,15 @@ class LCAQueryService:
     ----------
     store:
         Raw dataset store; a fresh empty one by default.
+    config:
+        A :class:`~repro.service.config.ServiceConfig` carrying every
+        serializable knob in one value.  Mutually exclusive with the
+        legacy per-knob kwargs below (``policy``, ``capacity_bytes``,
+        ``dedup``, ``answer_cache_bytes``, ``answer_cache_seed``,
+        ``ticket_capacity``): passing ``config=`` together with a
+        non-default legacy value raises :class:`~repro.errors.ServiceError`.
+        Either way the service normalizes onto one internal config,
+        exposed as :attr:`config`.
     policy:
         Micro-batching policy applied to every dataset's scheduler.
     dispatcher:
@@ -176,6 +186,7 @@ class LCAQueryService:
     """
 
     def __init__(self, store: Optional[ForestStore] = None, *,
+                 config: Optional[ServiceConfig] = None,
                  policy: Optional[BatchPolicy] = None,
                  dispatcher: Optional[CostModelDispatcher] = None,
                  capacity_bytes: Optional[int] = None,
@@ -185,20 +196,53 @@ class LCAQueryService:
                  answer_cache_seed: int = 0,
                  ticket_capacity: Optional[int] = None,
                  observer: Optional[TraceRecorder] = None) -> None:
+        # Single normalization path: legacy kwargs build the same
+        # ServiceConfig a config= caller passes; everything below reads
+        # from the config only.
+        if config is not None:
+            conflicts = [
+                name for name, given in (
+                    ("policy", policy is not None),
+                    ("capacity_bytes", capacity_bytes is not None),
+                    ("dedup", bool(dedup)),
+                    ("answer_cache_bytes", answer_cache_bytes is not None),
+                    ("answer_cache_seed", answer_cache_seed != 0),
+                    ("ticket_capacity", ticket_capacity is not None),
+                ) if given
+            ]
+            if conflicts:
+                raise ServiceError(
+                    f"pass configuration via config= or the legacy kwargs, "
+                    f"not both (conflicting: {', '.join(conflicts)})"
+                )
+        else:
+            base = policy or BatchPolicy()
+            config = ServiceConfig(
+                max_batch_size=base.max_batch_size,
+                max_wait_s=base.max_wait_s,
+                capacity_bytes=capacity_bytes,
+                dedup=bool(dedup),
+                answer_cache_bytes=answer_cache_bytes,
+                answer_cache_seed=int(answer_cache_seed),
+                ticket_capacity=ticket_capacity,
+            )
+        self.config = config
         self.clock = clock or SimulatedClock()
         self._observer: Optional[TraceRecorder] = None
         self._obs_replica = 0
         self.answer_cache: Optional[AnswerCache] = (
-            AnswerCache(int(answer_cache_bytes), seed=answer_cache_seed)
-            if answer_cache_bytes is not None else None
+            AnswerCache(int(config.answer_cache_bytes),
+                        seed=config.answer_cache_seed)
+            if config.answer_cache_bytes is not None else None
         )
-        self._dedup = bool(dedup) or self.answer_cache is not None
+        self._dedup = config.dedup or self.answer_cache is not None
         # Whether each dataset's node ids fit the uint64 pair packing
         # (memoized on first serve; oversized trees use the plain path).
         self._packable: Dict[str, bool] = {}
         self.store = store or ForestStore()
-        self.registry = IndexRegistry(self.store, capacity_bytes=capacity_bytes)
-        self.policy = policy or BatchPolicy()
+        self.registry = IndexRegistry(self.store,
+                                      capacity_bytes=config.capacity_bytes)
+        self.policy = config.batch_policy()
         self.dispatcher = dispatcher or CostModelDispatcher()
         self.stats_collector = StatsCollector()
         self._schedulers: Dict[str, MicroBatchScheduler] = {}
@@ -210,13 +254,13 @@ class LCAQueryService:
         # ``ticket_capacity`` pre-sizes them (capacity planning for long
         # streams — growth stays amortized O(1) either way, but reserving
         # keeps the doubling copies out of the serving windows).
-        table = max(_MIN_TICKET_TABLE,
-                    0 if ticket_capacity is None else int(ticket_capacity))
+        reserve = config.ticket_capacity
+        table = max(_MIN_TICKET_TABLE, 0 if reserve is None else int(reserve))
         self._answers = np.empty(table, dtype=np.int64)
         self._latencies = np.empty(table, dtype=np.float64)
         self._answered = np.zeros(table, dtype=bool)
-        if ticket_capacity is not None:
-            self.stats_collector.reserve(int(ticket_capacity))
+        if reserve is not None:
+            self.stats_collector.reserve(int(reserve))
         # Memoized (dataset, backend) -> ArtifactKey for the registry's keyed
         # fast path; rebuilt lazily, invalidation-free (keys are pure values).
         self._artifact_keys: Dict[Tuple[str, str], ArtifactKey] = {}
@@ -808,6 +852,75 @@ class LCAQueryService:
         """
         return self.stats_collector.snapshot(registry=self.registry,
                                              answer_cache=self.answer_cache)
+
+    # ------------------------------------------------------------------
+    # Online tuning
+    # ------------------------------------------------------------------
+    def apply_tuning(self, *, max_batch_size: Optional[int] = None,
+                     max_wait_s: Optional[float] = None,
+                     dataset: Optional[str] = None) -> ServiceConfig:
+        """Hot-swap the safe-to-retune batching knobs at a flush boundary.
+
+        Only the :attr:`ServiceConfig.TUNABLE` subset can move mid-stream
+        (``None`` leaves a knob unchanged); structural knobs — cache
+        budgets, dedup, ticket capacity — are fixed at construction.  The
+        swap happens *now* on the simulated clock and never touches an
+        already-flushed batch: each scheduler's pending window is re-judged
+        under the new policy (see :meth:`MicroBatchScheduler.retune`) and
+        any batches the swap forces out — queries made late by a shorter
+        wait, windows made oversized by a smaller batch bound — are served
+        immediately, in flush-time order.  Answers are bit-identical under
+        any retuning schedule; only batching (and therefore latency and
+        cost) changes.
+
+        ``dataset`` scopes the swap to one dataset's scheduler — a
+        *priority lane*: the named lane keeps its own policy until the
+        next global (``dataset=None``) swap resets every lane.  Lane
+        overrides do not change :attr:`config` (the global default that
+        newly registered datasets inherit).
+
+        Returns :attr:`config` after the call.
+
+        >>> svc = LCAQueryService(config=ServiceConfig(max_batch_size=8,
+        ...                                            max_wait_s=1.0))
+        >>> svc.register_tree("t", np.array([-1, 0, 0]))
+        >>> tickets = [svc.submit("t", 1, 2, at=i * 1e-4) for i in range(3)]
+        >>> svc.apply_tuning(max_batch_size=2).max_batch_size  # forces a flush
+        2
+        >>> svc.answered(tickets).tolist()
+        [True, True, False]
+        """
+        changes: Dict[str, object] = {}
+        if max_batch_size is not None:
+            changes["max_batch_size"] = int(max_batch_size)
+        if max_wait_s is not None:
+            changes["max_wait_s"] = float(max_wait_s)
+        if not changes:
+            return self.config
+        if dataset is None:
+            self.config = self.config.derive(**changes)
+            policy = self.config.batch_policy()
+            self.policy = policy
+            targets = list(self._schedulers.items())
+        else:
+            scheduler = self._scheduler(dataset)
+            base = scheduler.policy
+            policy = BatchPolicy(
+                max_batch_size=int(
+                    changes.get("max_batch_size", base.max_batch_size)),
+                max_wait_s=float(
+                    changes.get("max_wait_s", base.max_wait_s)),
+            )
+            targets = [(dataset, scheduler)]
+        collected: List[Tuple[float, int, str, FlushedBatch]] = []
+        for name, scheduler in targets:
+            for batch in scheduler.retune(policy):
+                collected.append((batch.flush_s, self._dataset_rank[name],
+                                  name, batch))
+        collected.sort(key=lambda item: item[:2])
+        for _, _, name, batch in collected:
+            self._serve(name, batch)
+        return self.config
 
     # ------------------------------------------------------------------
     # Internals

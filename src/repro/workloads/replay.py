@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from ..control import Controller
 from ..errors import ConfigurationError, Overloaded
 from ..graphs.generators import random_attachment_tree
 from ..lca import BinaryLiftingLCA
@@ -208,6 +209,10 @@ class ScenarioReport:
     #: The lifecycle trace captured during this replay, when an observer
     #: was passed to :func:`replay` (``None`` otherwise).
     trace: Optional[TraceTable] = None
+    #: Per-dataset p99 over this replay's admitted queries, as sorted
+    #: ``(dataset, p99_s)`` pairs — how each tenant of a multi-source
+    #: scenario experienced the tail (priority lanes show up here).
+    dataset_latency_p99_s: Tuple[Tuple[str, float], ...] = ()
 
     def format(self) -> str:
         """Render the report as an aligned text block."""
@@ -343,6 +348,7 @@ def replay(
     seed: Optional[int] = None,
     observer: Optional[TraceRecorder] = None,
     retry: Optional[RetryPolicy] = None,
+    controller: Optional[Controller] = None,
 ) -> ScenarioReport:
     """Feed ``scenario`` to ``target`` in column blocks; report the outcome.
 
@@ -377,6 +383,14 @@ def replay(
     rejections.  :class:`~repro.errors.ReplicaDown` — no live copy left for
     an admitted query — is a service failure, not load shedding, and
     propagates out of ``replay`` unhandled.
+
+    ``controller`` runs a :class:`~repro.control.Controller` observation
+    before the first block (so deadline clamps and priority lanes hold from
+    the very first arrival) and after every submitted block (the
+    controller's own ``interval_s`` gates how often it actually retunes),
+    closing the SLO loop while the trace is in flight.  Retuning swaps
+    knobs at flush boundaries only, so a controlled replay with
+    ``check_answers`` still verifies bit-identical against the oracle.
 
     >>> from repro.service import LCAQueryService
     >>> from repro.workloads import make_scenario
@@ -422,6 +436,8 @@ def replay(
     retry_heap: List[Tuple[float, int, str, np.ndarray, np.ndarray, int]] = []
     retry_seq = 0
     tickets: List[np.ndarray] = []
+    # Whole-replay admitted tickets per dataset, for per-tenant percentiles.
+    dataset_tickets: Dict[str, List[np.ndarray]] = {}
 
     def _queue_retry(
         dataset: str,
@@ -451,14 +467,17 @@ def replay(
                         dataset, rx, ry, at=np.full(rx.size, at_s)
                     )
                 tickets.append(block)
+                dataset_tickets.setdefault(dataset, []).append(block)
                 phase_retry[-1][0] += int(rx.size)
                 if check_answers:
                     verified_runs.append((dataset, rx, ry, block))
             except Overloaded as exc:
                 if exc.admitted:
-                    tickets.append(
-                        np.arange(before, before + exc.admitted, dtype=np.int64)
+                    admitted = np.arange(
+                        before, before + exc.admitted, dtype=np.int64
                     )
+                    tickets.append(admitted)
+                    dataset_tickets.setdefault(dataset, []).append(admitted)
                     phase_retry[-1][0] += exc.admitted
                 _queue_retry(
                     dataset, rx[exc.admitted :], ry[exc.admitted :], at_s,
@@ -471,6 +490,10 @@ def replay(
     timer = StageTimer()
     phase_submit_wall: List[float] = []
 
+    if controller is not None:
+        # Pre-flight observation: deadline clamps and priority lanes take
+        # effect before the first arrival, not one admission window in.
+        controller.observe(target, target.clock.now)
     t0 = target.clock.now
     for phase in scenario.phases:
         arrivals = phase.arrivals.generate(t0, phase.duration_s, arrival_rng)
@@ -520,19 +543,24 @@ def replay(
                     block = target.submit_many(dataset, xs[a:b], ys[a:b],
                                                at=arrivals[a:b])
                 tickets.append(block)
+                dataset_tickets.setdefault(dataset, []).append(block)
                 if check_answers:
                     verified_runs.append((dataset, xs[a:b], ys[a:b], block))
             except Overloaded as exc:
                 shed += exc.shed
                 if exc.admitted:
-                    tickets.append(
-                        np.arange(before, before + exc.admitted, dtype=np.int64)
+                    admitted = np.arange(
+                        before, before + exc.admitted, dtype=np.int64
                     )
+                    tickets.append(admitted)
+                    dataset_tickets.setdefault(dataset, []).append(admitted)
                 if retry is not None and exc.shed:
                     first = a + exc.admitted
                     last = first + exc.shed
                     _queue_retry(dataset, xs[first:last], ys[first:last],
                                  float(arrivals[first]), 1)
+            if controller is not None:
+                controller.observe(target, target.clock.now)
         phase_submit_wall.append(timer.seconds("submit") - submit_wall_0)
         phase_tickets.append(tickets)
         phase_raw.append((phase.name, phase.duration_s, count, shed))
@@ -622,6 +650,11 @@ def replay(
         else np.empty(0, dtype=np.float64)
     )
     p50, p99 = _percentiles(merged)
+    # Per-tenant tails (untimed: reporting, not serving).
+    dataset_p99: List[Tuple[str, float]] = []
+    for name in sorted(dataset_tickets):
+        lat = target.latencies(np.concatenate(dataset_tickets[name]))
+        dataset_p99.append((name, _percentiles(lat)[1]))
     offered_total = sum(p.queries_offered for p in phases)
     admitted_total = sum(p.queries_admitted for p in phases)
     shed_total = sum(p.queries_shed for p in phases)
@@ -657,4 +690,5 @@ def replay(
         latencies_wall_s=timer.seconds("latencies"),
         verify_wall_s=timer.seconds("verify"),
         trace=observer.table() if observer is not None else None,
+        dataset_latency_p99_s=tuple(dataset_p99),
     )

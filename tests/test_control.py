@@ -1,0 +1,379 @@
+"""SLO specs, hot-swap tuning, and the online controller.
+
+The load-bearing invariant: ``apply_tuning()`` changes *when batches
+flush* and *what they cost*, never *what they answer*.  Every test that
+retunes mid-stream checks answers against the binary-lifting oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.control import SLO, WINDOW_BUCKETS_S, Controller, TuningDecision
+from repro.errors import ServiceError
+from repro.graphs.generators import random_attachment_tree
+from repro.lca import BinaryLiftingLCA
+from repro.service import (
+    BatchPolicy,
+    ClusterConfig,
+    ClusterService,
+    LCAQueryService,
+    MicroBatchScheduler,
+    ServiceConfig,
+    SimulatedClock,
+)
+from repro.workloads import make_scenario, replay
+
+
+# ----------------------------------------------------------------------
+# SLO spec
+# ----------------------------------------------------------------------
+class TestSLO:
+    def test_requires_an_objective(self):
+        with pytest.raises(ServiceError, match="at least one objective"):
+            SLO()
+
+    def test_bounds_validated(self):
+        with pytest.raises(ServiceError):
+            SLO(p99_latency_s=0.0)
+        with pytest.raises(ServiceError):
+            SLO(max_shed_rate=1.5)
+        with pytest.raises(ServiceError):
+            SLO(min_throughput_qps=-1.0)
+        with pytest.raises(ServiceError):
+            SLO(tenant_weights=(("a", 0.0),))
+        with pytest.raises(ServiceError, match="duplicate"):
+            SLO(tenant_weights=(("a", 1.0), ("a", 2.0)))
+
+    def test_weight_of_defaults_to_one(self):
+        slo = SLO(tenant_weights=(("gold", 5.0), ("bronze", 1.0)))
+        assert slo.weight_of("gold") == 5.0
+        assert slo.weight_of("unknown") == 1.0
+
+    def test_round_trip(self):
+        slo = SLO(
+            p99_latency_s=2e-4,
+            max_shed_rate=0.05,
+            min_throughput_qps=1e5,
+            tenant_weights=(("a", 2.0), ("b", 1.0)),
+        )
+        assert SLO.from_dict(slo.to_dict()) == slo
+        assert SLO.from_json(slo.to_json()) == slo
+
+    def test_from_dict_normalizes_lists(self):
+        slo = SLO.from_dict({"tenant_weights": [["a", 2], ["b", 1]]})
+        assert slo.tenant_weights == (("a", 2.0), ("b", 1.0))
+
+    def test_from_dict_rejects_unknown(self):
+        with pytest.raises(ServiceError, match="unknown SLO"):
+            SLO.from_dict({"p99": 1e-4})
+
+
+# ----------------------------------------------------------------------
+# Scheduler retune: the flush-boundary contract
+# ----------------------------------------------------------------------
+class TestSchedulerRetune:
+    def test_shrunk_batch_size_flushes_complete_batches(self):
+        clock = SimulatedClock()
+        sched = MicroBatchScheduler(
+            BatchPolicy(max_batch_size=100, max_wait_s=1.0), clock=clock
+        )
+        for i in range(7):
+            sched.submit(i, 0, 1, at=0.0)
+        flushed = sched.retune(BatchPolicy(max_batch_size=3, max_wait_s=1.0))
+        assert [b.size for b in flushed] == [3, 3]
+        assert all(b.trigger == "size" for b in flushed)
+        assert len(sched.pending) == 1
+
+    def test_shrunk_wait_flushes_overdue_batches(self):
+        clock = SimulatedClock()
+        sched = MicroBatchScheduler(
+            BatchPolicy(max_batch_size=100, max_wait_s=1.0), clock=clock
+        )
+        sched.submit(0, 0, 1, at=0.0)
+        clock.advance(0.5)
+        flushed = sched.retune(
+            BatchPolicy(max_batch_size=100, max_wait_s=0.1)
+        )
+        assert [b.trigger for b in flushed] == ["wait"]
+        # The batch flushes at its new (past) deadline, not at now.
+        assert flushed[0].flush_s == pytest.approx(0.1)
+
+    def test_noop_retune_flushes_nothing(self):
+        sched = MicroBatchScheduler(
+            BatchPolicy(max_batch_size=10, max_wait_s=1.0)
+        )
+        sched.submit(0, 0, 1, at=0.0)
+        assert sched.retune(BatchPolicy(max_batch_size=10, max_wait_s=1.0)) == []
+        assert len(sched.pending) == 1
+
+
+# ----------------------------------------------------------------------
+# apply_tuning on both services
+# ----------------------------------------------------------------------
+class TestApplyTuning:
+    def _tree(self, n=200, seed=3):
+        return random_attachment_tree(n, seed=seed)
+
+    def test_service_swaps_policy_and_flushes(self):
+        svc = LCAQueryService(
+            config=ServiceConfig(max_batch_size=100, max_wait_s=1.0)
+        )
+        parents = self._tree()
+        svc.register_tree("t", parents)
+        tickets = [svc.submit("t", 2 * i, 2 * i + 1, at=1e-6 * i) for i in range(5)]
+        cfg = svc.apply_tuning(max_batch_size=2, max_wait_s=1e-4)
+        assert cfg.max_batch_size == 2
+        assert svc.policy == BatchPolicy(max_batch_size=2, max_wait_s=1e-4)
+        # Two size-complete pairs were forced out and served.
+        assert sum(svc.answered(np.array(tickets))) == 4
+        svc.drain()
+        oracle = BinaryLiftingLCA(parents)
+        xs = np.array([2 * i for i in range(5)])
+        ys = np.array([2 * i + 1 for i in range(5)])
+        assert np.array_equal(svc.results(np.array(tickets)), oracle.query(xs, ys))
+
+    def test_service_noop_returns_config(self):
+        svc = LCAQueryService()
+        assert svc.apply_tuning() is svc.config
+
+    def test_service_lane_overrides_one_dataset(self):
+        svc = LCAQueryService(
+            config=ServiceConfig(max_batch_size=64, max_wait_s=1e-3)
+        )
+        svc.register_tree("a", self._tree(seed=1))
+        svc.register_tree("b", self._tree(seed=2))
+        svc.submit("a", 0, 1, at=0.0)
+        svc.submit("b", 0, 1, at=0.0)
+        svc.apply_tuning(dataset="a", max_wait_s=1e-5)
+        assert svc._scheduler("a").policy.max_wait_s == 1e-5
+        assert svc._scheduler("b").policy.max_wait_s == 1e-3
+        # The global config is untouched by a lane override.
+        assert svc.config.max_wait_s == 1e-3
+        # A global swap resets every lane.
+        svc.apply_tuning(max_wait_s=5e-4)
+        assert svc._scheduler("a").policy.max_wait_s == 5e-4
+        svc.drain()
+
+    def test_cluster_global_swap_reaches_replicas_and_new_ones(self):
+        cluster = ClusterService(config=ClusterConfig(n_replicas=2))
+        cluster.register_tree("t", self._tree())
+        cfg = cluster.apply_tuning(max_batch_size=32, max_wait_s=2e-4)
+        assert cfg.max_batch_size == 32
+        assert all(
+            w.policy == BatchPolicy(max_batch_size=32, max_wait_s=2e-4)
+            for w in cluster.replicas
+        )
+        rid = cluster.add_replica()
+        assert cluster.replicas[rid].policy.max_batch_size == 32
+
+    def test_cluster_max_pending_takes_effect(self):
+        cluster = ClusterService(
+            config=ClusterConfig(n_replicas=2, max_pending=4)
+        )
+        cluster.register_tree("t", self._tree())
+        cluster.apply_tuning(max_pending=1000)
+        assert cluster.config.max_pending == 1000
+        xs = np.arange(100, dtype=np.int64)
+        cluster.submit_many("t", xs, xs + 1, at=np.zeros(100))  # no Overloaded
+        cluster.drain()
+
+    def test_cluster_hedging_can_turn_on_mid_run(self):
+        cluster = ClusterService(config=ClusterConfig(n_replicas=2))
+        assert cluster.config.hedge_delay_s is None
+        cluster.apply_tuning(hedge_delay_s=1e-3)
+        assert cluster.config.hedge_delay_s == 1e-3
+        assert cluster._hedge_delay_s == 1e-3
+
+    def test_cluster_dataset_scope_rejects_cluster_knobs(self):
+        cluster = ClusterService(config=ClusterConfig(n_replicas=2))
+        cluster.register_tree("t", self._tree())
+        with pytest.raises(ServiceError, match="cluster-wide"):
+            cluster.apply_tuning(dataset="t", max_pending=10)
+
+    def test_tuning_validates_through_config(self):
+        svc = LCAQueryService()
+        with pytest.raises(ServiceError):
+            svc.apply_tuning(max_batch_size=0)
+
+
+# ----------------------------------------------------------------------
+# Exactness under retuning (the hypothesis property)
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(
+    schedule=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=40),  # retune after N queries
+            st.sampled_from([1, 2, 8, 64, 1024]),  # new max_batch_size
+            st.sampled_from([2e-5, 1e-4, 1e-3, 1e-2]),  # new max_wait_s
+        ),
+        max_size=6,
+    ),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_retuning_never_changes_answers(schedule, seed):
+    rng = np.random.default_rng(seed)
+    parents = random_attachment_tree(300, seed=seed)
+    svc = LCAQueryService(
+        config=ServiceConfig(max_batch_size=256, max_wait_s=1e-3)
+    )
+    svc.register_tree("t", parents)
+    n = 150
+    xs = rng.integers(0, 300, size=n)
+    ys = rng.integers(0, 300, size=n)
+    at = np.cumsum(rng.exponential(2e-5, size=n))
+    tickets = []
+    cursor = 0
+    pending = list(schedule)
+    next_retune = pending.pop(0) if pending else None
+    while cursor < n:
+        step = next_retune[0] if next_retune else n - cursor
+        stop = min(n, cursor + step)
+        tickets.append(
+            svc.submit_many("t", xs[cursor:stop], ys[cursor:stop], at=at[cursor:stop])
+        )
+        cursor = stop
+        if next_retune is not None:
+            svc.apply_tuning(
+                max_batch_size=next_retune[1], max_wait_s=next_retune[2]
+            )
+            next_retune = pending.pop(0) if pending else None
+    svc.drain()
+    oracle = BinaryLiftingLCA(parents)
+    assert np.array_equal(
+        svc.results(np.concatenate(tickets)), oracle.query(xs, ys)
+    )
+
+
+# ----------------------------------------------------------------------
+# Controller
+# ----------------------------------------------------------------------
+class TestController:
+    def test_rejects_bad_parameters(self):
+        slo = SLO(p99_latency_s=1e-4)
+        with pytest.raises(ValueError):
+            Controller(slo, interval_s=-1.0)
+        with pytest.raises(ValueError):
+            Controller(slo, min_batch_size=0)
+        with pytest.raises(ValueError):
+            Controller(slo, wait_fraction=0.0)
+
+    def test_interval_gates_observations(self):
+        svc = LCAQueryService()
+        ctl = Controller(SLO(p99_latency_s=1e-4), interval_s=1e-3)
+        assert ctl.observe(svc, 0.0) is not None  # deadline clamp fires
+        assert ctl.observe(svc, 5e-4) is None  # inside the interval
+        assert len(ctl.decisions) == 1
+
+    def test_deadline_clamp_bounds_wait_by_budget(self):
+        svc = LCAQueryService(
+            config=ServiceConfig(max_batch_size=64, max_wait_s=1e-2)
+        )
+        ctl = Controller(
+            SLO(p99_latency_s=2e-4), interval_s=0.0, wait_fraction=0.5
+        )
+        decision = ctl.observe(svc, 0.0)
+        assert "deadline-clamp" in decision.reason
+        assert svc.config.max_wait_s == pytest.approx(1e-4)
+
+    def test_p99_violation_backs_off(self):
+        parents = random_attachment_tree(500, seed=1)
+        svc = LCAQueryService(
+            config=ServiceConfig(max_batch_size=2048, max_wait_s=5e-4)
+        )
+        svc.register_tree("t", parents)
+        # Queue a big slow batch so recorded latencies blow the bound.
+        xs = np.arange(2000) % 500
+        svc.submit_many("t", xs, (xs + 7) % 500, at=np.full(2000, 0.0))
+        svc.drain()
+        ctl = Controller(SLO(p99_latency_s=1e-6), interval_s=0.0)
+        decision = ctl.observe(svc, svc.clock.now)
+        assert "p99" in decision.reason
+        assert decision.max_batch_size < 2048
+        assert decision.window_p99_s > 1e-6
+
+    def test_shed_violation_bulks_up_and_raises_admission(self):
+        parents = random_attachment_tree(200, seed=2)
+        cluster = ClusterService(
+            config=ClusterConfig(n_replicas=2, max_batch_size=64,
+                                 max_wait_s=1e-4, max_pending=8)
+        )
+        cluster.register_tree("t", parents)
+        xs = np.arange(64, dtype=np.int64) % 200
+        with pytest.raises(Exception):  # Overloaded: floods the tiny queue
+            cluster.submit_many("t", xs, xs + 1, at=np.zeros(64))
+        ctl = Controller(
+            SLO(p99_latency_s=1.0, max_shed_rate=0.01), interval_s=0.0
+        )
+        decision = ctl.observe(cluster, cluster.clock.now)
+        assert "shed" in decision.reason
+        assert decision.max_batch_size == 128
+        assert decision.max_pending == 12  # 8 * 3 // 2
+        assert cluster.config.max_pending == 12
+
+    def test_probe_grows_batch_under_deep_headroom(self):
+        parents = random_attachment_tree(200, seed=3)
+        svc = LCAQueryService(
+            config=ServiceConfig(max_batch_size=64, max_wait_s=4e-5)
+        )
+        svc.register_tree("t", parents)
+        svc.submit_many(
+            "t",
+            np.arange(32, dtype=np.int64),
+            np.arange(32, dtype=np.int64) + 1,
+            at=np.linspace(0.0, 1e-5, 32),
+        )
+        svc.drain()
+        ctl = Controller(SLO(p99_latency_s=10.0), interval_s=0.0)
+        decision = ctl.observe(svc, svc.clock.now)
+        assert decision is not None and "probe" in decision.reason
+        assert decision.max_batch_size == 128
+
+    def test_priority_lanes_shorten_heavy_tenants(self):
+        slo = SLO(
+            p99_latency_s=1e-3,
+            tenant_weights=(("gold", 5.0), ("bronze", 1.0)),
+        )
+        svc = LCAQueryService(
+            config=ServiceConfig(max_batch_size=64, max_wait_s=5e-4)
+        )
+        svc.register_tree("gold", random_attachment_tree(100, seed=4))
+        svc.register_tree("bronze", random_attachment_tree(100, seed=5))
+        svc.submit("gold", 0, 1, at=0.0)
+        svc.submit("bronze", 0, 1, at=0.0)
+        ctl = Controller(slo, interval_s=0.0)
+        ctl.observe(svc, 0.0)
+        gold = svc._scheduler("gold").policy.max_wait_s
+        bronze = svc._scheduler("bronze").policy.max_wait_s
+        assert gold == pytest.approx(bronze / 5.0)
+        assert bronze <= svc.config.max_wait_s
+        svc.drain()
+
+    def test_controlled_replay_verifies_against_oracle(self):
+        cluster = ClusterService(
+            config=ClusterConfig(n_replicas=3, max_pending=4096)
+        )
+        ctl = Controller(
+            SLO(p99_latency_s=3e-4, max_shed_rate=0.05), interval_s=2e-3
+        )
+        report = replay(
+            cluster,
+            make_scenario("diurnal", scale=0.15),
+            check_answers=True,  # raises if any answer deviates
+            controller=ctl,
+        )
+        assert report.queries_admitted > 0
+        assert ctl.decisions  # the controller actually moved
+
+    def test_decisions_are_recorded_with_measurements(self):
+        svc = LCAQueryService()
+        ctl = Controller(SLO(p99_latency_s=1e-4), interval_s=0.0)
+        decision = ctl.observe(svc, 0.0)
+        assert isinstance(decision, TuningDecision)
+        assert decision.window_shed_rate == 0.0
+        assert ctl.decisions == [decision]
+
+    def test_window_buckets_are_ascending(self):
+        assert list(WINDOW_BUCKETS_S) == sorted(WINDOW_BUCKETS_S)

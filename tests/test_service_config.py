@@ -1,0 +1,251 @@
+"""The typed configuration surface: round-trips, shims, equivalence.
+
+The config redesign must be invisible to existing callers: the legacy
+kwargs still work (routed through one normalization path), mixing kwargs
+with ``config=`` fails loudly, and a service built from a config serves a
+trace bit-identically to one built from the equivalent kwargs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    BatchPolicy,
+    ClusterConfig,
+    ClusterService,
+    LCAQueryService,
+    RoundRobinRouter,
+    ServiceConfig,
+)
+from repro.workloads import make_scenario, replay
+
+
+# ----------------------------------------------------------------------
+# Round-tripping and derivation
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            ServiceConfig(),
+            ServiceConfig(
+                max_batch_size=64,
+                max_wait_s=2e-4,
+                capacity_bytes=1 << 20,
+                dedup=True,
+                answer_cache_bytes=1 << 16,
+                answer_cache_seed=7,
+                ticket_capacity=128,
+            ),
+            ClusterConfig(),
+            ClusterConfig(
+                n_replicas=3,
+                max_batch_size=256,
+                router="round-robin",
+                max_pending=512,
+                start_time=1.5,
+                dedup=True,
+                answer_cache_bytes=1 << 20,
+                hedge_delay_s=1e-3,
+                max_retries=5,
+            ),
+        ],
+    )
+    def test_dict_and_json_round_trip(self, cfg):
+        assert type(cfg).from_dict(cfg.to_dict()) == cfg
+        assert type(cfg).from_json(cfg.to_json()) == cfg
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ServiceError, match="unknown ServiceConfig"):
+            ServiceConfig.from_dict({"max_batch": 4})
+        with pytest.raises(ServiceError, match="unknown ClusterConfig"):
+            ClusterConfig.from_dict({"replicas": 4})
+
+    def test_from_json_rejects_non_object(self):
+        with pytest.raises(ServiceError, match="must be an object"):
+            ServiceConfig.from_json("[1, 2]")
+
+    def test_derive_changes_only_named_fields(self):
+        base = ClusterConfig(n_replicas=2, max_pending=100)
+        derived = base.derive(max_pending=200)
+        assert derived.max_pending == 200
+        assert derived.n_replicas == 2
+        assert base.max_pending == 100  # frozen: original untouched
+
+    def test_derive_rejects_unknown_fields(self):
+        with pytest.raises(ServiceError, match="unknown ServiceConfig"):
+            ServiceConfig().derive(hedge_delay_s=1e-3)
+
+    def test_derive_revalidates(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig().derive(max_batch_size=0)
+        with pytest.raises(ServiceError):
+            ClusterConfig().derive(n_replicas=0)
+
+    def test_validation_matches_service_errors(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(max_wait_s=-1.0)
+        with pytest.raises(ServiceError):
+            ServiceConfig(capacity_bytes=0)
+        with pytest.raises(ServiceError):
+            ClusterConfig(max_pending=0)
+        with pytest.raises(ServiceError):
+            ClusterConfig(hedge_delay_s=0.0)
+        with pytest.raises(ServiceError):
+            ClusterConfig(max_retries=0)
+
+    def test_tunable_sets(self):
+        assert ServiceConfig.TUNABLE == {"max_batch_size", "max_wait_s"}
+        assert ClusterConfig.TUNABLE == {
+            "max_batch_size",
+            "max_wait_s",
+            "hedge_delay_s",
+            "max_pending",
+        }
+
+
+# ----------------------------------------------------------------------
+# Back-compat shim: kwargs and config are one normalization path
+# ----------------------------------------------------------------------
+class TestShim:
+    def test_service_kwargs_build_the_config(self):
+        svc = LCAQueryService(
+            policy=BatchPolicy(max_batch_size=32, max_wait_s=5e-4),
+            dedup=True,
+        )
+        assert svc.config == ServiceConfig(
+            max_batch_size=32, max_wait_s=5e-4, dedup=True
+        )
+        assert svc.policy == svc.config.batch_policy()
+
+    def test_service_config_object_is_kept(self):
+        cfg = ServiceConfig(max_batch_size=8, answer_cache_bytes=1 << 16)
+        svc = LCAQueryService(config=cfg)
+        assert svc.config is cfg
+        assert svc.answer_cache is not None
+
+    def test_service_conflict_raises(self):
+        with pytest.raises(ServiceError, match="not both"):
+            LCAQueryService(
+                config=ServiceConfig(), policy=BatchPolicy(max_batch_size=8)
+            )
+        with pytest.raises(ServiceError, match="dedup"):
+            LCAQueryService(config=ServiceConfig(), dedup=True)
+
+    def test_cluster_kwargs_build_the_config(self):
+        cluster = ClusterService(
+            3, policy=BatchPolicy(max_batch_size=16), max_pending=64
+        )
+        assert cluster.config == ClusterConfig(
+            n_replicas=3,
+            max_batch_size=16,
+            max_wait_s=1e-3,
+            max_pending=64,
+        )
+
+    def test_cluster_config_object(self):
+        cfg = ClusterConfig(n_replicas=2, router="round-robin", dedup=True)
+        cluster = ClusterService(config=cfg)
+        assert cluster.config is cfg
+        assert cluster.n_replicas == 2
+        assert cluster.router.name == "round-robin"
+        assert all(w.config.dedup for w in cluster.replicas)
+
+    def test_cluster_conflict_raises(self):
+        with pytest.raises(ServiceError, match="not both"):
+            ClusterService(4, config=ClusterConfig())
+        with pytest.raises(ServiceError, match="max_pending"):
+            ClusterService(config=ClusterConfig(), max_pending=10)
+
+    def test_cluster_requires_replica_count_somewhere(self):
+        with pytest.raises(ServiceError, match="n_replicas"):
+            ClusterService()
+
+    def test_cluster_router_string_key(self):
+        for name in ("round-robin", "least-outstanding", "consistent-hash"):
+            assert ClusterService(2, router=name).router.name == name
+
+    def test_cluster_router_instance_still_accepted(self):
+        router = RoundRobinRouter()
+        cluster = ClusterService(2, router=router)
+        assert cluster.router is router
+        assert cluster.config.router == "round-robin"
+
+    def test_cluster_router_bad_key(self):
+        with pytest.raises(ServiceError, match="unknown router policy"):
+            ClusterService(2, router="fastest")
+
+
+# ----------------------------------------------------------------------
+# Equivalence: config-built and kwargs-built serve identical traces
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    def _comparable(self, stats):
+        # Everything modeled; host wall-clock fields do not exist on
+        # ServiceStats/ClusterStats, so whole-snapshot equality is exact.
+        return stats
+
+    def test_service_stats_bit_identical(self):
+        scenario = make_scenario("skewed-hotspot", scale=0.1)
+        kwargs_svc = LCAQueryService(
+            policy=BatchPolicy(max_batch_size=128, max_wait_s=2e-4),
+            answer_cache_bytes=1 << 18,
+        )
+        config_svc = LCAQueryService(
+            config=ServiceConfig(
+                max_batch_size=128, max_wait_s=2e-4, answer_cache_bytes=1 << 18
+            )
+        )
+        a = replay(kwargs_svc, scenario)
+        b = replay(config_svc, scenario)
+        assert self._comparable(a.stats) == self._comparable(b.stats)
+        assert a.latency_p99_s == b.latency_p99_s
+
+    def test_cluster_stats_bit_identical(self):
+        scenario = make_scenario("flash-crowd", scale=0.1)
+        kwargs_cluster = ClusterService(
+            3,
+            policy=BatchPolicy(max_batch_size=64, max_wait_s=1e-4),
+            max_pending=256,
+            router="round-robin",
+        )
+        config_cluster = ClusterService(
+            config=ClusterConfig(
+                n_replicas=3,
+                max_batch_size=64,
+                max_wait_s=1e-4,
+                max_pending=256,
+                router="round-robin",
+            )
+        )
+        a = replay(kwargs_cluster, scenario)
+        b = replay(config_cluster, scenario)
+        assert a.stats == b.stats
+        assert a.queries_shed == b.queries_shed
+
+    def test_added_replica_inherits_config(self):
+        cluster = ClusterService(
+            config=ClusterConfig(n_replicas=2, max_batch_size=32, dedup=True)
+        )
+        rid = cluster.add_replica()
+        worker = cluster.replicas[rid]
+        assert worker.config == cluster.replicas[0].config
+        assert worker.policy.max_batch_size == 32
+
+
+# ----------------------------------------------------------------------
+# Exports
+# ----------------------------------------------------------------------
+def test_all_exports_resolve():
+    import repro
+    import repro.control
+    import repro.service
+
+    for module in (repro, repro.service, repro.control):
+        missing = [n for n in module.__all__ if not hasattr(module, n)]
+        assert not missing, f"{module.__name__}: {missing}"
+    assert repro.ServiceConfig is ServiceConfig
+    assert repro.ClusterConfig is ClusterConfig
+    assert repro.SLO is repro.control.SLO
+    assert repro.Controller is repro.control.Controller
