@@ -1,0 +1,422 @@
+#!/usr/bin/env python
+"""Reactive autoscaling vs every static replica count on a flash crowd.
+
+A flash crowd is the load shape a fixed fleet cannot straddle: a short
+burst offers several times one replica's capacity while the calm phases
+around it — most of the trace — need almost none.  A small fleet drowns
+during the burst (per-replica backend lanes serialize batches, so the
+backlog shows up as modeled queueing latency and a blown p99); a large
+fleet keeps the tail flat but burns idle replica-seconds all trace long.
+
+The stock device profiles are far too fast for fleet size to matter (one
+simulated GPU replica absorbs a 5M qps flash without breaking stride),
+so this bench serves on a deliberately modest *edge-node* profile — a
+32x-derated single-core CPU, ~320k queries/s per replica — and sizes the
+flash at ~4.5x one replica's capacity.  The same trace then replays on a
+static cluster at every replica count in {1, 2, 4, 8} and once more
+*reactively*: the cluster starts at the policy floor and a
+:class:`repro.control.Controller` carrying an
+:class:`repro.control.AutoscalePolicy` drives ``n_replicas`` live
+through the drain-before-retire ``scale_to()`` transition — scale-out
+when the windowed p99 breaches, scale-in with hysteresis and cooldowns
+once the tail goes calm.  Every run (static and reactive) shares the
+same knob-tuning controller against the same SLO, so membership is the
+only thing that differs; every admitted answer is verified against the
+binary-lifting oracle, scaling included.
+
+Each run is scored on **cost x SLO**, with cost charged per
+replica-second *alive* — provisioned capacity, not work done:
+
+    cost    = replica-seconds alive per answered query (us)
+    penalty = product over declared bounds of max(1, actual / bound)
+    score   = cost * penalty            (lower is better)
+
+The headline ``reactive_vs_best_static`` is ``best static score /
+reactive score`` — above 1.0 means no fixed fleet size matches reacting.
+``--check`` additionally requires the scaling story itself: a scale-out
+decision during the flash phase, a scale-in after it, and a final
+replica count back at the policy floor.  All numbers are modeled times
+on the simulated clock driven by seeded generators, so rows are
+bit-deterministic and make a tight CI regression baseline.
+
+Outputs:
+
+* ``BENCH_autoscale.json`` (repo root) — machine-readable result,
+  compared against the committed baseline by CI's bench-regression gate;
+* ``results/autoscale.txt`` — the rendered comparison table.
+
+Run with:  python benchmarks/bench_autoscale.py
+Options:   --max-pending N  --scale F  --check
+Scale:     REPRO_BENCH_SCALE scales scenario durations (not rates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.control import SLO, AutoscalePolicy, Controller
+from repro.device import XEON_X5650_SINGLE
+from repro.service import ClusterConfig, ClusterService
+from repro.service.dispatch import Backend, CostModelDispatcher
+from repro.workloads import Phase, PoissonArrivals, Scenario, TrafficSource, replay
+
+from bench_util import BENCH_SCALE, RESULTS_DIR
+
+JSON_PATH = REPO_ROOT / "BENCH_autoscale.json"
+
+#: One front-door admission tick = one controller observation: fine
+#: enough to catch the flash within half a millisecond of onset.
+ADMISSION_WINDOW_S = 5e-4
+
+#: The serving device: a single-core CPU derated 32x — an edge node, not
+#: a datacenter accelerator.  ~3.1 us modeled per query, so one replica
+#: sustains ~320k queries/s and fleet size is a real capacity decision.
+EDGE_SPEC = replace(
+    XEON_X5650_SINGLE,
+    name="Edge node (derated Xeon core, simulated)",
+    clock_hz=XEON_X5650_SINGLE.clock_hz / 32,
+    mem_bandwidth_bytes=XEON_X5650_SINGLE.mem_bandwidth_bytes / 32,
+    dependent_latency_s=XEON_X5650_SINGLE.dependent_latency_s * 32,
+)
+EDGE_BACKEND = Backend(
+    key="edge", label="Edge-node Inlabel", spec=EDGE_SPEC, sequential=True
+)
+
+#: Arrival rates, in fractions of one replica's ~320k q/s capacity:
+#: calm runs at a quarter replica, the flash at ~4.5 replicas.
+CALM_QPS = 80_000.0
+FLASH_QPS = 1_440_000.0
+
+#: The static sweep: every fixed fleet size the reactive run must beat.
+STATIC_REPLICAS = (1, 2, 4, 8)
+
+#: Shared objective.  Nothing sheds (admission is generous); the fight
+#: is entirely over the tail under the flash.
+BENCH_SLO = SLO(p99_latency_s=2e-3, max_shed_rate=0.05)
+
+#: The reactive membership policy: latency-driven.  Scale out three
+#: replicas at a time the millisecond the windowed p99 blows past 1 ms,
+#: shrink two at a time only after 15 ms of calm tail (hysteresis:
+#: 0.6 ms << 1 ms, so recovery-phase jitter cannot flap the fleet).
+POLICY = AutoscalePolicy(
+    min_replicas=2,
+    max_replicas=8,
+    signals=("p99",),
+    p99_out_s=1e-3,
+    p99_in_s=6e-4,
+    cooldown_out_s=1e-3,
+    cooldown_in_s=15e-3,
+    step_out=3,
+    step_in=2,
+)
+
+
+def build_scenario(scale: float, seed: int) -> Scenario:
+    """Calm / flash / recovery on one 4096-node tree."""
+    calm = PoissonArrivals(CALM_QPS)
+    return Scenario(
+        name="edge-flash",
+        description="flash at ~4.5x one edge replica's capacity",
+        sources=(TrafficSource("edge", nodes=4096, tree_seed=seed),),
+        phases=(
+            Phase("calm", calm, 0.08 * scale),
+            Phase("flash", PoissonArrivals(FLASH_QPS), 0.02 * scale),
+            Phase("recovery", calm, 0.08 * scale),
+        ),
+        seed=seed,
+    )
+
+
+def score_run(report) -> dict:
+    """Cost x SLO-penalty scoring of one replayed run.
+
+    Unlike ``bench_adaptive`` (which charges backend-busy seconds), the
+    cost here is **replica-seconds alive** per answered query: the bill
+    for capacity kept provisioned, which is exactly the quantity
+    autoscaling exists to shrink.
+    """
+    stats = report.stats
+    answered = int(stats.queries_answered)
+    cost_us = (
+        stats.replica_seconds / answered * 1e6 if answered else float("inf")
+    )
+    penalty = 1.0
+    violations = []
+    if BENCH_SLO.p99_latency_s is not None:
+        ratio = report.latency_p99_s / BENCH_SLO.p99_latency_s
+        penalty *= max(1.0, ratio)
+        if ratio > 1.0:
+            violations.append("p99")
+    if BENCH_SLO.max_shed_rate is not None:
+        ratio = report.shed_rate / BENCH_SLO.max_shed_rate
+        penalty *= max(1.0, ratio)
+        if ratio > 1.0:
+            violations.append("shed")
+    return {
+        "cost_us_per_query": cost_us,
+        "penalty": penalty,
+        "score": cost_us * penalty,
+        "slo_violations": violations,
+        "slo_met": not violations,
+    }
+
+
+def run_one(label, n_replicas, args, reactive):
+    scenario = build_scenario(args.scale, args.seed)
+    cluster = ClusterService(
+        config=ClusterConfig(
+            n_replicas=n_replicas,
+            max_batch_size=256,
+            max_wait_s=2e-4,
+            max_pending=args.max_pending,
+        ),
+        dispatcher_factory=lambda: CostModelDispatcher(
+            backends=(EDGE_BACKEND,)
+        ),
+    )
+    controller = Controller(
+        BENCH_SLO,
+        interval_s=args.interval_s,
+        wait_fraction=0.1,
+        autoscale=POLICY if reactive else None,
+    )
+    report = replay(
+        cluster,
+        scenario,
+        admission_window_s=ADMISSION_WINDOW_S,
+        check_answers=True,
+        controller=controller,
+    )
+    membership = [d for d in controller.decisions if d.kind == "membership"]
+    row = {
+        "config": label,
+        "start_replicas": n_replicas,
+        "final_replicas": cluster.n_active,
+        "replicas_by_phase": {
+            phase.name: phase.n_replicas_end for phase in report.phases
+        },
+        "replica_seconds": report.stats.replica_seconds,
+        "offered": report.queries_offered,
+        "admitted": report.queries_admitted,
+        "answered": int(report.stats.queries_answered),
+        "shed_rate": report.shed_rate,
+        "throughput_qps": report.throughput_qps,
+        "latency_p50_us": report.latency_p50_s * 1e6,
+        "latency_p99_us": report.latency_p99_s * 1e6,
+        "decisions": len(controller.decisions),
+        "membership_decisions": len(membership),
+        "scale_events": [
+            {"at_s": d.at_s, "reason": d.reason, "n_replicas": d.n_replicas}
+            for d in membership
+        ],
+    }
+    row.update(score_run(report))
+    return row
+
+
+def render_table(config, rows, headline) -> str:
+    lines = [
+        "Reactive autoscaling vs static replica counts, edge-flash",
+        f"device             : {EDGE_SPEC.name} (~3.1us/query modeled)",
+        f"load               : calm {CALM_QPS:g} q/s, flash {FLASH_QPS:g} "
+        "q/s (~4.5 replicas' worth)",
+        f"controller         : interval={config['interval_ms']:g}ms, shared "
+        "knob tuning; reactive run adds the membership policy",
+        f"policy             : replicas {config['policy']['min_replicas']}.."
+        f"{config['policy']['max_replicas']}, out on window p99 > "
+        f"{config['policy']['p99_out_s'] * 1e3:g}ms, in below "
+        f"{config['policy']['p99_in_s'] * 1e3:g}ms, cooldowns "
+        f"{config['policy']['cooldown_out_s'] * 1e3:g}/"
+        f"{config['policy']['cooldown_in_s'] * 1e3:g}ms",
+        f"scenario scale     : {config['scale']:g} (durations; rates fixed)",
+        "score              : replica-us/query x SLO penalty (lower is "
+        "better)",
+        "",
+        f"{'config':<12} {'repl':>9} {'shed':>7} {'p99 us':>8} "
+        f"{'cost us':>8} {'penalty':>8} {'score':>9} {'SLO':>4} {'moves':>6}",
+    ]
+    for row in rows:
+        phases = row["replicas_by_phase"]
+        repl = "/".join(str(phases[p]) for p in ("calm", "flash", "recovery"))
+        lines.append(
+            f"{row['config']:<12} {repl:>9} "
+            f"{row['shed_rate']:>6.1%} {row['latency_p99_us']:>8.1f} "
+            f"{row['cost_us_per_query']:>8.2f} {row['penalty']:>8.2f} "
+            f"{row['score']:>9.2f} {'ok' if row['slo_met'] else 'VIOL':>4} "
+            f"{row['membership_decisions'] or '-':>6}"
+        )
+    lines.append("")
+    lines.append(
+        f"best static {headline['best_static_config']} scores "
+        f"{headline['best_static_score']:.2f}, reactive "
+        f"{headline['reactive_score']:.2f} -> ratio "
+        f"{headline['reactive_vs_best_static']:.2f} "
+        "(>1 = reacting beats every fixed fleet)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=32768,
+        help="cluster admission bound (generous: the bench is about the "
+        "tail, not shedding)",
+    )
+    parser.add_argument(
+        "--interval-s",
+        type=float,
+        default=5e-4,
+        help="controller observation interval, simulated seconds",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=BENCH_SCALE,
+        help="scenario duration scale (default: REPRO_BENCH_SCALE)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the reactive run meets the SLO, beats "
+        "every static replica count, scales out during the flash and back "
+        "in after it",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    rows = [
+        run_one(f"static-{n}", n, args, reactive=False)
+        for n in STATIC_REPLICAS
+    ]
+    reactive_row = run_one("reactive", POLICY.min_replicas, args, reactive=True)
+    rows.append(reactive_row)
+    wall_s = time.perf_counter() - start
+
+    statics = [r for r in rows if r["config"] != "reactive"]
+    best_static = min(statics, key=lambda r: r["score"])
+    # The flash phase spans [calm, calm + flash) on the scenario clock.
+    scenario = build_scenario(args.scale, args.seed)
+    flash_start = scenario.phases[0].duration_s
+    flash_end = flash_start + scenario.phases[1].duration_s
+    scale_outs = [
+        e
+        for e in reactive_row["scale_events"]
+        if e["reason"].startswith("scale-out")
+    ]
+    scale_ins = [
+        e for e in reactive_row["scale_events"] if e["reason"] == "scale-in"
+    ]
+    headline = {
+        "reactive_vs_best_static": best_static["score"]
+        / reactive_row["score"],
+        "best_static_config": best_static["config"],
+        "best_static_score": best_static["score"],
+        "reactive_score": reactive_row["score"],
+        "slo_violations": len(reactive_row["slo_violations"]),
+        "reactive_peak_replicas": max(
+            e["n_replicas"] for e in reactive_row["scale_events"]
+        )
+        if reactive_row["scale_events"]
+        else reactive_row["final_replicas"],
+        "reactive_final_replicas": reactive_row["final_replicas"],
+        "scale_out_decisions": len(scale_outs),
+        "scale_in_decisions": len(scale_ins),
+    }
+
+    config = {
+        "max_pending": args.max_pending,
+        "interval_ms": args.interval_s * 1e3,
+        "scale": args.scale,
+        "admission_window_ms": ADMISSION_WINDOW_S * 1e3,
+        "seed": args.seed,
+        "bench_scale": BENCH_SCALE,
+        "calm_qps": CALM_QPS,
+        "flash_qps": FLASH_QPS,
+        "device": EDGE_SPEC.name,
+        "static_replicas": list(STATIC_REPLICAS),
+        "slo": BENCH_SLO.to_dict(),
+        "policy": POLICY.to_dict(),
+    }
+    table = render_table(config, rows, headline)
+    print(table)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "autoscale.txt").write_text(table + "\n", encoding="utf-8")
+    payload = {
+        "benchmark": "autoscale",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": config,
+        "rows": rows,
+        "wall_s": wall_s,
+        "headline": headline,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {JSON_PATH} and {RESULTS_DIR / 'autoscale.txt'}")
+
+    if args.check:
+        failures = []
+        if not reactive_row["slo_met"]:
+            failures.append(
+                "reactive violated the SLO: "
+                f"{reactive_row['slo_violations']} "
+                f"(p99={reactive_row['latency_p99_us']:.1f}us, "
+                f"shed={reactive_row['shed_rate']:.2%})"
+            )
+        if headline["reactive_vs_best_static"] <= 1.0:
+            failures.append(
+                "reactive did not beat the best static fleet "
+                f"({best_static['config']}, ratio "
+                f"{headline['reactive_vs_best_static']:.2f})"
+            )
+        if not any(
+            flash_start <= e["at_s"] <= flash_end + ADMISSION_WINDOW_S
+            for e in scale_outs
+        ):
+            failures.append(
+                "no scale-out decision landed during the flash phase "
+                f"[{flash_start:g}, {flash_end:g}]s"
+            )
+        if not any(e["at_s"] > flash_end for e in scale_ins):
+            failures.append("no scale-in decision after the flash phase")
+        if headline["reactive_final_replicas"] != POLICY.min_replicas:
+            failures.append(
+                "reactive did not return to the policy floor: ended at "
+                f"{headline['reactive_final_replicas']} replicas"
+            )
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            "check ok: reactive met the SLO, beat every static fleet "
+            f"{headline['reactive_vs_best_static']:.2f}x, scaled out on the "
+            "ramp and back in after"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Markdown link checker: relative links and anchors must resolve.
 
-CI's ``docs`` job runs this over ``README.md`` and ``docs/`` so
+CI's ``docs`` job runs this over ``README.md``, ``ROADMAP.md`` and
+``docs/`` so
 documentation rot — a renamed file, a moved section, a typoed anchor —
 fails the build instead of silently 404ing for readers.  No third-party
 dependencies and no network: external (``http``/``https``/``mailto``)
@@ -18,7 +19,7 @@ Checked per markdown file:
 
 Usage::
 
-    python scripts/check_markdown_links.py README.md docs
+    python scripts/check_markdown_links.py README.md ROADMAP.md docs
 
 Exits non-zero listing every broken link.
 """

@@ -74,7 +74,7 @@ from .errors import (
     ReproError,
     ServiceError,
 )
-from .control import SLO, Controller
+from .control import SLO, AutoscalePolicy, Controller
 from .euler import EulerTour, TreeStats, build_euler_tour, compute_tree_stats
 from .graphs import CSRGraph, EdgeList
 from .lca import (
@@ -169,6 +169,7 @@ __all__ = [
     "Router",
     # SLO-aware self-tuning
     "SLO",
+    "AutoscalePolicy",
     "Controller",
     # fault tolerance + elasticity
     "FaultEvent",

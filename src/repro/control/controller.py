@@ -45,6 +45,14 @@ The loop, once per ``interval_s`` of simulated time:
    ``effective_wait * (min_weight / weight)`` — heavier tenants flush
    sooner — re-applied every epoch on top of the global policy.
 
+5. **Membership** (optional).  With an
+   :class:`~repro.control.autoscale.AutoscalePolicy` attached and a
+   cluster target, the same windowed signals (shed rate, queue-depth
+   occupancy, window p99) drive ``n_replicas`` through
+   ``apply_tuning(n_replicas=...)`` →
+   :meth:`~repro.service.ClusterService.scale_to` — drain-before-retire,
+   live-copy safety, cooldowns and hysteresis per the policy.
+
 Every retune is recorded as a :class:`TuningDecision` in
 :attr:`Controller.decisions`, so a bench (or a test) can audit exactly
 when and why the controller moved.
@@ -55,6 +63,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..errors import ServiceError
 from ..obs.metrics import (
     HistogramValue,
     MetricRegistry,
@@ -65,6 +74,7 @@ from ..obs.metrics import (
 )
 from ..service.cluster import ClusterService
 from ..service.service import LCAQueryService
+from .autoscale import AutoscalePolicy
 from .slo import SLO
 
 __all__ = ["Controller", "TuningDecision", "WINDOW_BUCKETS_S"]
@@ -83,7 +93,9 @@ class TuningDecision:
     #: Simulated time of the observation that triggered the retune.
     at_s: float
     #: Which rule fired: ``"p99"``, ``"shed"``, ``"throughput"``,
-    #: ``"probe"`` or ``"deadline-clamp"`` (comma-joined when several).
+    #: ``"probe"`` or ``"deadline-clamp"`` (comma-joined when several) for
+    #: knob retunes; ``"scale-out:<signals>"`` or ``"scale-in"`` for
+    #: membership decisions.
     reason: str
     #: Knob values after the retune.
     max_batch_size: int
@@ -93,6 +105,12 @@ class TuningDecision:
     window_p99_s: float
     window_shed_rate: float
     window_throughput_qps: Optional[float]
+    #: ``"knobs"`` for a flush-boundary knob swap, ``"membership"`` for a
+    #: reactive scale decision applied through ``scale_to()``.
+    kind: str = "knobs"
+    #: The active replica count after a membership decision (``None`` on
+    #: knob retunes).
+    n_replicas: Optional[int] = None
 
 
 class Controller:
@@ -115,6 +133,16 @@ class Controller:
         time is a larger share of the budget.
     max_pending_cap:
         Ceiling the admission limit may be raised to.
+    autoscale:
+        An optional :class:`~repro.control.autoscale.AutoscalePolicy`.
+        When set and the target is a :class:`~repro.service.ClusterService`,
+        every observation additionally evaluates the policy's windowed
+        signals and may scale the active replica set through
+        ``apply_tuning(n_replicas=...)`` — recorded as a
+        ``kind="membership"`` :class:`TuningDecision`.  The first
+        observation anchors the cooldowns (a fresh loop never scales at
+        t=0), and a scale-in the cluster refuses for live-copy safety is
+        skipped silently and re-evaluated next window.
 
     >>> from repro.service import LCAQueryService
     >>> ctl = Controller(SLO(p99_latency_s=1e-4), interval_s=0.0)
@@ -135,6 +163,7 @@ class Controller:
         min_wait_s: float = 2e-5,
         wait_fraction: float = 0.8,
         max_pending_cap: int = 65536,
+        autoscale: Optional[AutoscalePolicy] = None,
     ) -> None:
         if interval_s < 0:
             raise ValueError("interval_s must be non-negative")
@@ -151,11 +180,15 @@ class Controller:
         self.min_wait_s = float(min_wait_s)
         self.wait_fraction = float(wait_fraction)
         self.max_pending_cap = int(max_pending_cap)
+        self.autoscale = autoscale
         #: Every applied retune, in order.
         self.decisions: List[TuningDecision] = []
         self._last_s: Optional[float] = None
         self._prev: Optional[MetricsSnapshot] = None
         self._consumed: Dict[int, int] = {}
+        #: Cooldown anchor: the most recent membership change (or the first
+        #: observation, which arms the loop without scaling).
+        self._last_scale_s: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Signal windowing
@@ -232,6 +265,10 @@ class Controller:
         call landed inside ``interval_s`` of the previous observation or
         the window required no change.  Priority lanes are (re)applied on
         every observation that runs, whether or not the global knobs moved.
+        With an :class:`~repro.control.autoscale.AutoscalePolicy` attached
+        and a cluster target, the membership rules run after the knob
+        rules; when both fire in one window the membership decision is
+        returned (both are appended to :attr:`decisions`).
         """
         if self._last_s is not None and now_s - self._last_s < self.interval_s:
             return None
@@ -352,6 +389,83 @@ class Controller:
             self.decisions.append(decision)
 
         self._apply_lanes(target, new_wait)
+
+        scale: Optional[TuningDecision] = None
+        if self.autoscale is not None and isinstance(target, ClusterService):
+            scale = self._autoscale_step(
+                target, now_s, p99_s, shed_rate, throughput
+            )
+        return scale if scale is not None else decision
+
+    def _autoscale_step(
+        self,
+        cluster: ClusterService,
+        now_s: float,
+        p99_s: float,
+        shed_rate: float,
+        throughput: Optional[float],
+    ) -> Optional[TuningDecision]:
+        """Evaluate the autoscale policy over this window; maybe scale.
+
+        Scale-out fires when *any* selected signal breaches its out
+        threshold; scale-in only when *every* selected signal is at or
+        below its calm threshold (hysteresis).  Both directions respect
+        their cooldowns, measured from the most recent membership change.
+        A scale-in the cluster refuses (live-copy safety) is skipped and
+        re-evaluated next window.
+        """
+        policy = self.autoscale
+        assert policy is not None
+        if self._last_scale_s is None:
+            # The first observation anchors the cooldowns: a fresh loop
+            # neither scales out on an empty window nor scales in at t=0.
+            self._last_scale_s = float(now_s)
+            return None
+        cap = cluster.config.max_pending
+        occupancy = cluster.pending_count() / cap if cap else 0.0
+        values = {"shed": shed_rate, "queue": occupancy, "p99": p99_s}
+        breached = [
+            s for s in policy.signals if values[s] > policy.out_threshold(s)
+        ]
+        calm = all(
+            values[s] <= policy.in_threshold(s) for s in policy.signals
+        )
+        n = cluster.n_active
+        elapsed = now_s - self._last_scale_s
+        target_n: Optional[int] = None
+        reason = ""
+        if breached and n < policy.max_replicas:
+            if elapsed >= policy.cooldown_out_s:
+                target_n = min(policy.max_replicas, n + policy.step_out)
+                reason = "scale-out:" + ",".join(breached)
+        elif calm and n > policy.min_replicas:
+            if elapsed >= policy.cooldown_in_s:
+                target_n = max(policy.min_replicas, n - policy.step_in)
+                reason = "scale-in"
+        if target_n is None or target_n == n:
+            return None
+        try:
+            cluster.apply_tuning(n_replicas=target_n)
+        except ServiceError:
+            # Live-copy safety refused the retirement; membership stays
+            # where the cluster left it and the window is re-evaluated
+            # after the next one.
+            return None
+        self._last_scale_s = float(now_s)
+        config = cluster.config
+        decision = TuningDecision(
+            at_s=float(now_s),
+            reason=reason,
+            max_batch_size=int(config.max_batch_size),
+            max_wait_s=float(config.max_wait_s),
+            max_pending=config.max_pending,
+            window_p99_s=p99_s,
+            window_shed_rate=shed_rate,
+            window_throughput_qps=throughput,
+            kind="membership",
+            n_replicas=cluster.n_active,
+        )
+        self.decisions.append(decision)
         return decision
 
     def _apply_lanes(self, target: _Target, effective_wait_s: float) -> None:

@@ -73,6 +73,7 @@ __all__ = [
     "EV_RETRY",
     "EV_HEDGE",
     "EV_MEMBERSHIP",
+    "EV_SCALE",
     "EVENT_NAMES",
     "TraceRecorder",
     "TraceTable",
@@ -131,6 +132,11 @@ EV_HEDGE = 17
 #: Cluster membership changed.  ``replica`` = the replica added/retired,
 #: ``detail`` = live replica count afterwards, ``aux`` = action.
 EV_MEMBERSHIP = 18
+#: A reactive scale decision landed (:meth:`ClusterService.scale_to`).
+#: ``detail`` = the target replica count, ``aux`` = direction
+#: (``"out"`` / ``"in"``), ``replica`` = -1 (a cluster-level event); the
+#: individual adds/retires it causes emit their own ``EV_MEMBERSHIP`` rows.
+EV_SCALE = 19
 
 #: Event-kind code -> stable short name (JSONL and report rendering).
 EVENT_NAMES: Tuple[str, ...] = (
@@ -153,6 +159,7 @@ EVENT_NAMES: Tuple[str, ...] = (
     "retry",
     "hedge",
     "membership",
+    "scale",
 )
 
 #: Kinds that carry a real ticket (and are therefore subject to sampling).

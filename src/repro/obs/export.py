@@ -37,6 +37,7 @@ from .events import (
     EV_KERNEL_START,
     EV_MEMBERSHIP,
     EV_RETRY,
+    EV_SCALE,
     EV_SHED,
     TraceTable,
     kind_name,
@@ -224,7 +225,8 @@ def chrome_trace_events(table: TraceTable) -> List[Dict[str, Any]]:
             lanes.append(lane)
 
     instants = table.of_kind(
-        EV_SHED, EV_CACHE_RESET, EV_FAULT, EV_RETRY, EV_HEDGE, EV_MEMBERSHIP
+        EV_SHED, EV_CACHE_RESET, EV_FAULT, EV_RETRY, EV_HEDGE, EV_MEMBERSHIP,
+        EV_SCALE,
     )
     for i in range(instants.n_events):
         kind = int(instants.kind[i])

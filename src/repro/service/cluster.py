@@ -77,6 +77,7 @@ from ..obs.events import (
     EV_HEDGE,
     EV_MEMBERSHIP,
     EV_RETRY,
+    EV_SCALE,
     EV_SHED,
     TraceRecorder,
 )
@@ -187,6 +188,12 @@ class ClusterStats:
     #: Live topology changes (:meth:`ClusterService.add_replica` /
     #: :meth:`ClusterService.retire_replica`), however triggered.
     membership_events: int = 0
+    #: Provisioned capacity on the simulated clock: each replica accrues
+    #: from its construction (or :meth:`ClusterService.add_replica`) until
+    #: its retirement (or the snapshot instant).  Killed-but-not-retired
+    #: replicas still accrue — they are provisioned even while down.  This
+    #: is the cost denominator reactive autoscaling is charged by.
+    replica_seconds: float = 0.0
 
     @property
     def throughput_qps(self) -> float:
@@ -448,6 +455,10 @@ class ClusterService:
         self._dispatcher_factory = factory
         self._alive: List[bool] = [True] * n_workers
         self._retired: List[bool] = [False] * n_workers
+        # Replica-second accounting: birth instant per replica id, and the
+        # retirement instant once retired (None while provisioned).
+        self._born_at: List[float] = [config.start_time] * n_workers
+        self._retired_at: List[Optional[float]] = [None] * n_workers
         self._all_alive = True
         self._transient: List[int] = [0] * n_workers
         self._failed: List[Tuple[int, str, FlushedBatch, np.ndarray]] = []
@@ -586,7 +597,10 @@ class ClusterService:
 
         Placement defaults to the consistent-hash ring (stable under future
         replica-count changes); ``on`` pins the copies to explicit replica
-        ids instead.  A lazy ``loader`` is wrapped so it runs once no matter
+        ids instead.  ``replicas=0`` means *every active replica, tracked*:
+        the copy count follows membership, so a replica added later (e.g.
+        by reactive autoscaling) starts serving the dataset, and a retired
+        one stops.  A lazy ``loader`` is wrapped so it runs once no matter
         how many copies exist — every copy shares the loaded array.
 
         >>> import numpy as np
@@ -616,11 +630,12 @@ class ClusterService:
             if gone:
                 raise ServiceError(f"replica ids {gone} are retired")
         else:
-            if not 1 <= int(replicas) <= self.n_active:
+            if not 0 <= int(replicas) <= self.n_active:
                 raise ServiceError(
-                    f"replicas must be in [1, {self.n_active}], got {replicas}"
+                    f"replicas must be in [0, {self.n_active}], got {replicas}"
                 )
-            copies = tuple(self.ring.place(name, int(replicas)))
+            want = int(replicas) or self.n_active
+            copies = tuple(self.ring.place(name, want))
         source: Union[np.ndarray, _SharedLoader]
         if parents is not None:
             parents = np.asarray(parents, dtype=np.int64)
@@ -673,6 +688,8 @@ class ClusterService:
         self._replicas = self._replicas + (worker,)
         self._alive.append(True)
         self._retired.append(False)
+        self._born_at.append(self.clock.now)
+        self._retired_at.append(None)
         self._transient.append(0)
         if self._observer is not None:
             worker.attach_observer(self._observer, replica=rid)
@@ -681,6 +698,7 @@ class ClusterService:
         self._replace_ring_datasets()
         self._refresh_all_alive()
         self._membership_events += 1
+        self.config = self.config.derive(n_replicas=self.n_active)
         if self._observer is not None:
             self._observer.record(
                 EV_MEMBERSHIP,
@@ -732,12 +750,14 @@ class ClusterService:
         self.ring.remove(r)
         self._retired[r] = True
         self._alive[r] = False
+        self._retired_at[r] = self.clock.now
         for name, copies in list(self._placement.items()):
             if self._tree_replicas[name] is None and r in copies:
                 self._placement[name] = tuple(c for c in copies if c != r)
         self._replace_ring_datasets()
         self._refresh_all_alive()
         self._membership_events += 1
+        self.config = self.config.derive(n_replicas=self.n_active)
         if self._observer is not None:
             self._observer.record(
                 EV_MEMBERSHIP,
@@ -746,6 +766,135 @@ class ClusterService:
                 detail=float(self.n_live),
                 aux=self._observer.intern("retire"),
             )
+
+    def scale_to(self, n: int) -> Tuple[int, ...]:
+        """Grow or shrink the active replica set to ``n`` workers.
+
+        Growth is repeated :meth:`add_replica` with *warm bring-up*: every
+        index artifact the newcomer's placement assigns it is prebuilt
+        before the call returns, so traffic routed to a freshly scaled-out
+        replica never queues behind a cold index build (a reactive
+        scale-out that served its first batches cold would blow the very
+        tail it fired to protect).  Shrinkage retires one safe
+        victim at a time, re-evaluating safety after each retirement.  The
+        victim is chosen warm-spare-aware among the replicas whose removal
+        keeps every dataset it holds on at least one other *live* copy
+        (survivors keep displaced-copy registrations, so a re-placement
+        back is free) and never the sole copy of a pinned dataset: killed
+        replicas retire first (they serve nothing), then the replica with
+        the least outstanding queued work, newest id breaking ties.  When
+        no victim is safe the call raises
+        :class:`~repro.errors.ServiceError` and leaves membership where it
+        got to.  Returns the affected replica ids, in order.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2)
+        >>> _ = cluster.register_tree("t", np.array([-1, 0, 0]), replicas=0)
+        >>> cluster.scale_to(4)
+        (2, 3)
+        >>> cluster.scale_to(1)
+        (3, 2, 1)
+        >>> cluster.n_active, cluster.config.n_replicas
+        (1, 1)
+        """
+        n = int(n)
+        if n < 1:
+            raise ServiceError("cannot scale below one replica")
+        if n != self.n_active and self._observer is not None:
+            self._observer.record(
+                EV_SCALE,
+                self.clock.now,
+                replica=-1,
+                detail=float(n),
+                aux=self._observer.intern(
+                    "out" if n > self.n_active else "in"
+                ),
+            )
+        changed: List[int] = []
+        while self.n_active < n:
+            rid = self.add_replica()
+            changed.append(rid)
+            worker = self._replicas[rid]
+            for name in worker.datasets:
+                for backend in worker.dispatcher.backends:
+                    worker.registry.fetch(
+                        name,
+                        "lca",
+                        backend.spec,
+                        sequential=backend.sequential,
+                    )
+        while self.n_active > n:
+            victim = self._scale_in_victim()
+            if victim is None:
+                raise ServiceError(
+                    f"cannot scale in below {self.n_active} replicas: no "
+                    f"replica can be retired without dropping the last "
+                    f"live copy of a dataset"
+                )
+            self.retire_replica(victim)
+            changed.append(victim)
+        return tuple(changed)
+
+    def _scale_in_victim(self) -> Optional[int]:
+        """The safest replica to retire next, or ``None`` if none is safe.
+
+        A candidate must not hold the sole copy of a pinned dataset, and
+        retiring it must leave every dataset it serves with at least one
+        other live copy (counted over survivors only — a candidate's own
+        liveness does not make it safer to keep).
+        """
+        if self.n_active <= 1:
+            return None
+        candidates: List[int] = []
+        for r in range(len(self._replicas)):
+            if self._retired[r]:
+                continue
+            safe = True
+            for name, copies in self._placement.items():
+                if r not in copies:
+                    continue
+                if self._tree_replicas[name] is None and copies == (r,):
+                    safe = False  # sole pinned copy: retire would refuse
+                    break
+                if not any(
+                    self._alive[c] for c in copies if c != r
+                ):
+                    safe = False  # would drop the last live copy
+                    break
+            if safe:
+                candidates.append(r)
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda r: (
+                self._alive[r],           # dead replicas retire first
+                self._replicas[r].pending_count() if self._alive[r] else 0,
+                -r,                       # newest id breaks ties
+            ),
+        )
+
+    def replica_seconds(self, upto_s: Optional[float] = None) -> float:
+        """Provisioned replica-seconds accrued so far (simulated clock).
+
+        Each replica accrues from its birth (construction or
+        :meth:`add_replica`) until its retirement, or until ``upto_s``
+        (default: the cluster's current simulated time) while still
+        provisioned.  Killed replicas accrue — they are paid for even
+        while down.
+
+        >>> import numpy as np
+        >>> cluster = ClusterService(2)
+        >>> cluster.advance_to(1.0)
+        >>> cluster.replica_seconds()
+        2.0
+        """
+        now = self.clock.now if upto_s is None else float(upto_s)
+        total = 0.0
+        for r in range(len(self._replicas)):
+            end = self._retired_at[r]
+            total += max(0.0, (now if end is None else end) - self._born_at[r])
+        return total
 
     # ------------------------------------------------------------------
     # Query path
@@ -1205,6 +1354,7 @@ class ClusterService:
             hedges_won=self._hedges_won,
             faults_injected=self._faults_applied,
             membership_events=self._membership_events,
+            replica_seconds=self.replica_seconds(),
         )
 
     # ------------------------------------------------------------------
@@ -1214,6 +1364,7 @@ class ClusterService:
                      max_wait_s: Optional[float] = None,
                      hedge_delay_s: Optional[float] = None,
                      max_pending: Optional[int] = None,
+                     n_replicas: Optional[int] = None,
                      dataset: Optional[str] = None) -> ClusterConfig:
         """Hot-swap the safe-to-retune knobs cluster-wide at a flush boundary.
 
@@ -1228,6 +1379,12 @@ class ClusterService:
         hedging and admission but never disable them (that is a structural
         choice made at construction).  Newly minted replicas
         (:meth:`add_replica`) arrive with the tuned configuration.
+
+        ``n_replicas`` makes the replica count itself a tunable knob: the
+        cluster scales to the requested active count through
+        :meth:`scale_to` (drain-before-retire, live-copy safety; an unsafe
+        scale-in raises :class:`~repro.errors.ServiceError` and leaves the
+        other knobs applied).
 
         ``dataset`` scopes the swap to one dataset's lane on its placement
         copies (a priority lane) and accepts only the batching knobs;
@@ -1257,12 +1414,15 @@ class ClusterService:
             changes["hedge_delay_s"] = float(hedge_delay_s)
         if max_pending is not None:
             changes["max_pending"] = int(max_pending)
-        if dataset is not None and len(batch_changes) != len(changes):
+        if dataset is not None and (
+            len(batch_changes) != len(changes) or n_replicas is not None
+        ):
             raise ServiceError(
                 "dataset-scoped tuning accepts only max_batch_size and "
-                "max_wait_s; hedge_delay_s and max_pending are cluster-wide"
+                "max_wait_s; hedge_delay_s, max_pending and n_replicas "
+                "are cluster-wide"
             )
-        if not changes:
+        if not changes and n_replicas is None:
             return self.config
         if dataset is not None:
             for c in self._copies(dataset):
@@ -1270,7 +1430,8 @@ class ClusterService:
                                                **batch_changes)  # type: ignore[arg-type]
             self._drain_failed()
             return self.config
-        self.config = self.config.derive(**changes)
+        if changes:
+            self.config = self.config.derive(**changes)
         if hedge_delay_s is not None:
             newly_hedged = self._hedge_delay_s is None
             self._hedge_delay_s = float(hedge_delay_s)
@@ -1286,6 +1447,10 @@ class ClusterService:
             # A forced flush can be claimed by a serve interceptor (dead or
             # failing replica): re-dispatch exactly as any serve path does.
             self._drain_failed()
+        if n_replicas is not None and int(n_replicas) != self.n_active:
+            # Membership moves last so an unsafe scale-in leaves the other
+            # knobs applied; scale_to() keeps config.n_replicas current.
+            self.scale_to(int(n_replicas))
         return self.config
 
     # ------------------------------------------------------------------
@@ -1637,7 +1802,10 @@ class ClusterService:
         for name, want in self._tree_replicas.items():
             if want is None:
                 continue  # pinned via on=; membership changes never move it
-            count = min(want, len(self.ring.replica_ids))
+            ring_size = len(self.ring.replica_ids)
+            # want == 0 tracks membership: the dataset lives on every
+            # replica currently in the ring.
+            count = ring_size if want == 0 else min(want, ring_size)
             copies = tuple(self.ring.place(name, count))
             registered = self._registered[name]
             for c in copies:

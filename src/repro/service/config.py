@@ -16,9 +16,12 @@ consolidate that sprawl into frozen dataclasses that
   benchmark manifest can pin the exact configuration it measured;
 * name the *safe-to-retune* subset (:attr:`ServiceConfig.TUNABLE`): the
   knobs ``apply_tuning()`` may hot-swap at a flush boundary while a replay
-  is in flight.  Structural knobs (cache budgets, replica count, dedup)
-  are deliberately excluded — changing them would invalidate carved-out
-  byte budgets or already-issued tickets.
+  is in flight.  Structural knobs (cache budgets, dedup) are deliberately
+  excluded — changing them would invalidate carved-out byte budgets or
+  already-issued tickets.  The cluster's replica count *is* tunable:
+  it lands through a drain-before-retire membership transition
+  (``ClusterService.scale_to``) rather than a hot swap, which is what
+  makes reactive autoscaling answer-preserving.
 
 Router policies are stored as string keys (the
 :data:`~repro.service.routing.ROUTER_POLICIES` names), which is what makes
@@ -183,7 +186,7 @@ class ClusterConfig(_ConfigBase):
     >>> ClusterConfig.from_dict(cfg.to_dict()) == cfg
     True
     >>> sorted(ClusterConfig.TUNABLE)
-    ['hedge_delay_s', 'max_batch_size', 'max_pending', 'max_wait_s']
+    ['hedge_delay_s', 'max_batch_size', 'max_pending', 'max_wait_s', 'n_replicas']
     """
 
     n_replicas: int = 4
@@ -204,8 +207,13 @@ class ClusterConfig(_ConfigBase):
     hedge_delay_s: Optional[float] = None
     max_retries: int = 3
 
+    #: ``n_replicas`` joined the tunable set with reactive autoscaling:
+    #: ``apply_tuning(n_replicas=...)`` lands through ``scale_to()`` —
+    #: a drain-before-retire membership transition, not a hot swap, but
+    #: equally answer-preserving.
     TUNABLE: ClassVar[FrozenSet[str]] = frozenset(
-        {"max_batch_size", "max_wait_s", "hedge_delay_s", "max_pending"}
+        {"max_batch_size", "max_wait_s", "hedge_delay_s", "max_pending",
+         "n_replicas"}
     )
 
     def __post_init__(self) -> None:

@@ -28,6 +28,12 @@ The family (``make_chaos_scenario`` names):
     Load on a 2-copy placement; a fresh replica joins mid-trace
     (``add_replica``) and the original replica 0 is drained and retired
     afterwards, forcing an index handoff while traffic keeps flowing.
+``chaos-autoscale``
+    The kill-flash traffic shape with the kill but *no scripted membership
+    help*: replica 0 dies as the flash crowd hits, and restoring capacity
+    is left to a reactive controller
+    (``replay_chaos(..., controller=Controller(slo, autoscale=policy))``).
+    Replayed without a controller it is simply a harder kill-flash.
 
 Fault times are absolute simulated seconds from the replay start, so chaos
 scenarios assume a cluster whose clock starts at ``0.0`` (the default);
@@ -43,6 +49,7 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from ..control import Controller
 from ..errors import ConfigurationError
 from ..obs.events import TraceRecorder
 from ..service import BatchPolicy, ClusterService, Router
@@ -280,6 +287,45 @@ def scale_out(
     )
 
 
+def autoscale_flash(
+    *, scale: float = 1.0, seed: int = 0, nodes_scale: float = 1.0
+) -> ChaosScenario:
+    """A flash crowd, a kill at its edge, and no scripted membership help.
+
+    The traffic and kill shape of :func:`kill_flash`, minus the transient
+    storm: replica 0 dies exactly when the flash hits and recovers when it
+    passes.  No ``add`` event ever fires — the schedule deliberately
+    leaves the cluster short-handed so that restoring (and later
+    returning) capacity is the job of a reactive autoscaler observing the
+    replay.  Replayed without one, it is simply a degraded flash crowd.
+    """
+    calm = _dur(0.08, scale)
+    flash = _dur(0.02, scale)
+    recovery = _dur(0.08, scale)
+    scenario = Scenario(
+        name="chaos-autoscale",
+        sources=(_source(seed, nodes_scale),),
+        phases=(
+            Phase("calm", PoissonArrivals(100_000.0), calm),
+            Phase("flash", PoissonArrivals(2_000_000.0), flash),
+            Phase("recovery", PoissonArrivals(100_000.0), recovery),
+        ),
+        seed=seed,
+        description="flash crowd on a degraded cluster; capacity recovery "
+        "is the autoscaler's job",
+    )
+    events = (
+        FaultEvent(calm, "kill", replica=0),
+        FaultEvent(calm + flash, "recover", replica=0),
+    )
+    return ChaosScenario(
+        scenario=scenario,
+        events=events,
+        description="replica 0 dies at the flash edge; no scripted adds — "
+        "a reactive controller must close the capacity gap",
+    )
+
+
 _Builder = Callable[..., ChaosScenario]
 
 #: Name -> builder registry, mirroring ``SCENARIOS``.
@@ -288,6 +334,7 @@ CHAOS_SCENARIOS: Dict[str, _Builder] = {
     "chaos-kill-flash": kill_flash,
     "chaos-rolling-restart": rolling_restart,
     "chaos-scale-out": scale_out,
+    "chaos-autoscale": autoscale_flash,
 }
 
 
@@ -303,8 +350,8 @@ def make_chaos_scenario(
     Traceback (most recent call last):
         ...
     repro.errors.ConfigurationError: unknown chaos scenario 'chaos-nope'; \
-known: chaos-kill-flash, chaos-replica-kill, chaos-rolling-restart, \
-chaos-scale-out
+known: chaos-autoscale, chaos-kill-flash, chaos-replica-kill, \
+chaos-rolling-restart, chaos-scale-out
     """
     if scale <= 0:
         raise ConfigurationError("scale must be positive")
@@ -337,12 +384,16 @@ def replay_chaos(
     seed: Optional[int] = None,
     observer: Optional[TraceRecorder] = None,
     retry: Optional[RetryPolicy] = None,
+    controller: Optional[Controller] = None,
 ) -> ScenarioReport:
     """Build a fresh fault-injected cluster and replay ``chaos`` on it.
 
     The cluster starts at simulated time ``0.0`` with a fresh
     :meth:`ChaosScenario.injector`; ``hedge_delay_s`` falls back to the
-    scenario's suggestion.  Raises
+    scenario's suggestion.  A ``controller`` observes every admission
+    block exactly as in :func:`~repro.workloads.replay.replay` — with an
+    :class:`~repro.control.AutoscalePolicy` attached it may add or retire
+    replicas while the schedule injects faults.  Raises
     :class:`~repro.errors.ConfigurationError` when the schedule names a
     replica the cluster (plus any earlier ``add`` events) will not have —
     failing fast beats a mid-replay :class:`~repro.errors.ServiceError`.
@@ -387,4 +438,5 @@ def replay_chaos(
         seed=seed,
         observer=observer,
         retry=retry,
+        controller=controller,
     )

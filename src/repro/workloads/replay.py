@@ -149,6 +149,11 @@ class PhaseReport:
     #: (a measurement of the harness, not of the modeled outcome — excluded
     #: from equality so deterministic replays still compare equal).
     submit_wall_s: float = field(default=0.0, compare=False)
+    #: Active replica count when the phase's last block had been submitted
+    #: (1 for a single-node service).  Static membership keeps this at the
+    #: construction count; reactive autoscaling makes it the per-phase
+    #: scale trajectory.
+    n_replicas_end: int = 1
 
 
 @dataclass(frozen=True)
@@ -295,11 +300,21 @@ def _register_sources(
         if source.dataset not in target.datasets:
             parents = random_attachment_tree(source.nodes, seed=source.tree_seed)
             if isinstance(target, ClusterService):
-                replicas = source.replicas or target.n_replicas
+                # A source without an explicit replica count registers in
+                # tracked all-active mode (replicas=0): placement follows
+                # membership, so replicas added mid-replay (reactive
+                # autoscaling, fault schedules) start serving the dataset.
+                # With static membership this is identical to pinning the
+                # count at n_replicas.
+                replicas = (
+                    min(source.replicas, target.n_replicas)
+                    if source.replicas
+                    else 0
+                )
                 target.register_tree(
                     source.dataset,
                     parents,
-                    replicas=min(replicas, target.n_replicas),
+                    replicas=replicas,
                 )
             else:
                 target.register_tree(source.dataset, parents)
@@ -486,6 +501,8 @@ def replay(
     # Cumulative answer-cache (hits, misses) at each phase boundary; phase i's
     # hit rate is the delta between boundaries i and i+1.
     cache_marks: List[Tuple[int, int]] = [_answer_cache_counters(target)]
+    # Active replica count at each phase boundary (autoscaling trajectory).
+    phase_replicas: List[int] = []
     answered_0, kernel_0 = _dedup_counters(target)
     timer = StageTimer()
     phase_submit_wall: List[float] = []
@@ -565,6 +582,9 @@ def replay(
         phase_tickets.append(tickets)
         phase_raw.append((phase.name, phase.duration_s, count, shed))
         cache_marks.append(_answer_cache_counters(target))
+        phase_replicas.append(
+            target.n_active if isinstance(target, ClusterService) else 1
+        )
         t0 += phase.duration_s
 
     if retry is not None:
@@ -641,6 +661,7 @@ def replay(
                 queries_retried=phase_retry[index][0],
                 queries_abandoned=phase_retry[index][1],
                 submit_wall_s=phase_submit_wall[index],
+                n_replicas_end=phase_replicas[index],
             )
         )
 

@@ -10,7 +10,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.control import SLO, WINDOW_BUCKETS_S, Controller, TuningDecision
+from repro.control import (
+    AUTOSCALE_SIGNALS,
+    SLO,
+    WINDOW_BUCKETS_S,
+    AutoscalePolicy,
+    Controller,
+    TuningDecision,
+)
 from repro.errors import ServiceError
 from repro.graphs.generators import random_attachment_tree
 from repro.lca import BinaryLiftingLCA
@@ -68,6 +75,126 @@ class TestSLO:
     def test_from_dict_rejects_unknown(self):
         with pytest.raises(ServiceError, match="unknown SLO"):
             SLO.from_dict({"p99": 1e-4})
+
+
+# ----------------------------------------------------------------------
+# AutoscalePolicy spec (same serialization contract as SLO)
+# ----------------------------------------------------------------------
+class TestAutoscalePolicy:
+    def test_defaults_validate(self):
+        policy = AutoscalePolicy()
+        assert policy.signals == AUTOSCALE_SIGNALS
+        assert policy.min_replicas <= policy.max_replicas
+
+    def test_rejects_min_above_max(self):
+        with pytest.raises(ServiceError, match="min_replicas"):
+            AutoscalePolicy(min_replicas=4, max_replicas=2)
+        with pytest.raises(ServiceError, match="min_replicas"):
+            AutoscalePolicy(min_replicas=0)
+
+    def test_rejects_empty_signal_set(self):
+        with pytest.raises(ServiceError, match="at least one signal"):
+            AutoscalePolicy(signals=())
+
+    def test_rejects_unknown_and_duplicate_signals(self):
+        with pytest.raises(ServiceError, match="unknown"):
+            AutoscalePolicy(signals=("shed", "cpu"))
+        with pytest.raises(ServiceError, match="duplicate"):
+            AutoscalePolicy(signals=("shed", "shed"))
+
+    def test_rejects_non_positive_cooldowns(self):
+        with pytest.raises(ServiceError, match="cooldown"):
+            AutoscalePolicy(cooldown_out_s=0.0)
+        with pytest.raises(ServiceError, match="cooldown"):
+            AutoscalePolicy(cooldown_in_s=-1.0)
+
+    def test_rejects_broken_hysteresis(self):
+        # Every signal pair needs calm strictly below breach, selected or not:
+        # a policy that would start flapping the moment its signal set is
+        # widened is rejected up front.
+        with pytest.raises(ServiceError, match="hysteresis"):
+            AutoscalePolicy(signals=("shed",), shed_out=0.1, shed_in=0.1)
+        with pytest.raises(ServiceError, match="hysteresis"):
+            AutoscalePolicy(signals=("p99",), p99_out_s=1e-4, p99_in_s=2e-4)
+        with pytest.raises(ServiceError, match="hysteresis"):
+            AutoscalePolicy(signals=("queue",), shed_out=0.0, shed_in=0.0)
+        with pytest.raises(ServiceError, match="non-negative"):
+            AutoscalePolicy(signals=("queue",), queue_in=-0.5)
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(ServiceError, match="steps"):
+            AutoscalePolicy(step_out=0)
+        with pytest.raises(ServiceError, match="steps"):
+            AutoscalePolicy(step_in=-2)
+
+    def test_round_trip(self):
+        policy = AutoscalePolicy(
+            min_replicas=2,
+            max_replicas=6,
+            signals=("queue", "p99"),
+            queue_out=0.9,
+            queue_in=0.2,
+            p99_out_s=1e-3,
+            p99_in_s=1e-4,
+            cooldown_out_s=1e-3,
+            cooldown_in_s=5e-3,
+            step_out=2,
+            step_in=1,
+        )
+        assert AutoscalePolicy.from_dict(policy.to_dict()) == policy
+        assert AutoscalePolicy.from_json(policy.to_json()) == policy
+
+    def test_from_dict_rejects_unknown(self):
+        with pytest.raises(ServiceError, match="unknown"):
+            AutoscalePolicy.from_dict({"replicas": 3})
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        min_replicas=st.integers(min_value=1, max_value=8),
+        extra=st.integers(min_value=0, max_value=8),
+        signals=st.sets(
+            st.sampled_from(AUTOSCALE_SIGNALS), min_size=1
+        ).map(lambda s: tuple(sorted(s))),
+        shed=st.tuples(
+            st.floats(min_value=0.0, max_value=0.5),
+            st.floats(min_value=1e-3, max_value=0.5),
+        ),
+        queue=st.tuples(
+            st.floats(min_value=0.0, max_value=0.9),
+            st.floats(min_value=1e-3, max_value=1.0),
+        ),
+        p99=st.tuples(
+            st.floats(min_value=0.0, max_value=1e-3),
+            st.floats(min_value=1e-6, max_value=1e-2),
+        ),
+        cooldowns=st.tuples(
+            st.floats(min_value=1e-6, max_value=1.0),
+            st.floats(min_value=1e-6, max_value=1.0),
+        ),
+        steps=st.tuples(
+            st.integers(min_value=1, max_value=4),
+            st.integers(min_value=1, max_value=4),
+        ),
+    )
+    def test_json_round_trip_property(
+        self, min_replicas, extra, signals, shed, queue, p99, cooldowns, steps
+    ):
+        policy = AutoscalePolicy(
+            min_replicas=min_replicas,
+            max_replicas=min_replicas + extra,
+            signals=signals,
+            shed_in=shed[0],
+            shed_out=shed[0] + shed[1],
+            queue_in=queue[0],
+            queue_out=queue[0] + queue[1],
+            p99_in_s=p99[0],
+            p99_out_s=p99[0] + p99[1],
+            cooldown_out_s=cooldowns[0],
+            cooldown_in_s=cooldowns[1],
+            step_out=steps[0],
+            step_in=steps[1],
+        )
+        assert AutoscalePolicy.from_json(policy.to_json()) == policy
 
 
 # ----------------------------------------------------------------------

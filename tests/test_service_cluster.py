@@ -66,7 +66,10 @@ def test_register_tree_validation():
     with pytest.raises(ServiceError):
         cluster.register_tree("u", parents, replicas=4)  # > n_replicas
     with pytest.raises(ServiceError):
-        cluster.register_tree("u", parents, replicas=0)
+        cluster.register_tree("u", parents, replicas=-1)
+    # replicas=0 is not an error: it tracks the full active replica set.
+    cluster.register_tree("all", parents, replicas=0)
+    assert len(cluster.placement("all")) == 3
     with pytest.raises(ServiceError):
         cluster.register_tree("u", parents, on=[0, 3])  # id out of range
     with pytest.raises(ServiceError):

@@ -102,6 +102,7 @@ class TestRoundTrip:
             "max_wait_s",
             "hedge_delay_s",
             "max_pending",
+            "n_replicas",
         }
 
 
@@ -249,3 +250,6 @@ def test_all_exports_resolve():
     assert repro.ClusterConfig is ClusterConfig
     assert repro.SLO is repro.control.SLO
     assert repro.Controller is repro.control.Controller
+    assert repro.AutoscalePolicy is repro.control.AutoscalePolicy
+    assert "AutoscalePolicy" in repro.__all__
+    assert "AutoscalePolicy" in repro.control.__all__

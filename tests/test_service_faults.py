@@ -12,6 +12,7 @@ to running without one.
 import numpy as np
 import pytest
 
+from repro.control import SLO, AutoscalePolicy, Controller
 from repro.errors import ConfigurationError, ReplicaDown, ServiceError
 from repro.graphs.generators import random_attachment_tree
 from repro.graphs.trees import generate_random_queries
@@ -409,3 +410,52 @@ def test_single_replica_noop_injector_matches_plain_service_trace():
 
     # The canonical lifecycle trace — every event, in order, bit for bit.
     assert cluster_obs.table().equals(plain_obs.table())
+
+
+# ----------------------------------------------------------------------
+# Reactive autoscaling under chaos
+# ----------------------------------------------------------------------
+
+
+def test_autoscaler_reacts_during_chaos_flash_without_losing_queries():
+    """``chaos-autoscale``: a kill lands on the flash edge and no scripted
+    scale-out is coming — a shed-driven policy must close the capacity gap
+    while availability stays at 100% (every admitted query answered)."""
+    from repro.workloads import make_chaos_scenario
+    from repro.workloads.chaos import replay_chaos
+
+    chaos = make_chaos_scenario("chaos-autoscale", scale=0.25, nodes_scale=0.25)
+    policy = AutoscalePolicy(
+        min_replicas=2,
+        max_replicas=6,
+        signals=("shed",),
+        shed_out=0.01,
+        cooldown_out_s=2e-3,
+        cooldown_in_s=4e-3,
+        step_out=2,
+        step_in=2,
+    )
+    controller = Controller(
+        SLO(p99_latency_s=1.0), interval_s=2e-3, autoscale=policy
+    )
+    report = replay_chaos(
+        chaos,
+        n_replicas=2,
+        policy=POLICY,
+        max_pending=2048,
+        admission_window_s=2e-3,
+        check_answers=True,
+        controller=controller,
+    )
+    moves = [d for d in controller.decisions if d.kind == "membership"]
+    assert any(d.reason.startswith("scale-out:shed") for d in moves)
+    assert any(d.reason == "scale-in" for d in moves)
+    assert max(d.n_replicas for d in moves) > 2
+    # The flash shed (that is what fired the policy), but nothing admitted
+    # was lost — not to the kill, not to any scale event.
+    assert report.queries_shed > 0
+    assert report.queries_admitted == report.stats.queries_answered
+    # check_answers verified every fully admitted block against the oracle;
+    # the trajectory is visible per phase and ends back near the floor.
+    assert report.phases[1].n_replicas_end > 2
+    assert report.phases[-1].n_replicas_end == policy.min_replicas
