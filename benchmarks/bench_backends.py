@@ -1,0 +1,439 @@
+#!/usr/bin/env python
+"""Calibrated dispatch vs static backends, on measured launch costs.
+
+The paper's Fig. 6 crossover was *modeled*: hardcoded GTX980/Xeon specs
+priced every batch.  This bench exercises the measured path end to end:
+
+1. **Live calibration** — :func:`repro.backends.calibrate_backends` times
+   the real ``smallbatch`` and ``numpy`` kernels on this host across a
+   batch-size grid and fits launch-overhead + per-query cost lines.  The
+   fitted lines (and the crossover they imply) are reported but *not*
+   gated — wall-clock numbers move with the runner.
+2. **Dispatch comparison** — a fixed reference profile (measured once on
+   the development container, committed below as constants) drives three
+   cluster configurations over the steady and flash-crowd scenarios: two
+   *static* single-backend clusters and one *calibrated* cluster that
+   dispatches each batch to the profile-argmin backend.  Every admitted
+   answer is verified against the binary-lifting oracle.  Because charges
+   come from the fixed profile on the simulated clock, these rows are
+   bit-deterministic and make a tight CI regression baseline.
+
+Each run is scored on **cost x SLO** (same scheme as bench_adaptive):
+
+    cost    = profile-charged backend-busy seconds per answered query
+    penalty = product over declared bounds of max(1, actual / bound)
+    score   = cost * penalty            (lower is better)
+
+The headline ``calibrated_vs_best_static`` is the worst-case ratio of the
+best static score to the calibrated score over both scenarios — the
+calibrated dispatcher prices every batch on the same profile the statics
+are charged with, so it must match or beat them (>= 1.0 up to rounding).
+
+Outputs:
+
+* ``BENCH_backends.json`` (repo root) — machine-readable result, compared
+  against the committed baseline by CI's bench-regression gate;
+* ``results/backends.txt`` — the rendered comparison table;
+* ``results/backends_profile.json`` — the live-measured profile.
+
+Run with:  python benchmarks/bench_backends.py
+Options:   --replicas N  --scale F  --live  --skip-calibration  --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+try:
+    import repro  # noqa: F401
+except ImportError:  # running from a checkout without `pip install -e .`
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro.backends import (
+    BackendCalibration,
+    CalibrationProfile,
+    calibrate_backends,
+)
+from repro.service import ClusterConfig, ClusterService, dispatcher_for
+from repro.workloads import make_scenario, replay
+
+from bench_util import BENCH_SCALE, RESULTS_DIR
+
+JSON_PATH = REPO_ROOT / "BENCH_backends.json"
+
+#: One front-door admission tick (matches bench_scenarios.py).
+ADMISSION_WINDOW_S = 5e-3
+
+#: Reference profile: measured once on the development container (see
+#: docs/backends.md) and committed so the dispatch comparison is
+#: bit-deterministic.  ``smallbatch`` is the scalar low-launch-overhead
+#: kernel, ``numpy`` the vectorized one — cheap launches vs cheap queries,
+#: the measured version of the paper's CPU/GPU trade-off.
+REFERENCE_PROFILE = CalibrationProfile(
+    entries={
+        "smallbatch": BackendCalibration(
+            backend="smallbatch",
+            launch_overhead_s=9.52e-6,
+            per_query_s=2.606e-7,
+            min_batch=1,
+            max_batch=1024,
+            samples=11,
+            residual=0.0,
+        ),
+        "numpy": BackendCalibration(
+            backend="numpy",
+            launch_overhead_s=7.574e-5,
+            per_query_s=8.66e-8,
+            min_batch=1,
+            max_batch=1024,
+            samples=11,
+            residual=0.0,
+        ),
+    },
+    meta={"source": "reference (dev container)", "n_nodes": 4096, "seed": 0},
+)
+
+#: The three cluster configurations under comparison.
+CONFIGS = (
+    ("static-small", ("smallbatch",)),
+    ("static-numpy", ("numpy",)),
+    ("calibrated", ("smallbatch", "numpy")),
+)
+
+#: Declared objectives.  Bounds are on profile-charged (measured-cost)
+#: latencies, so they differ from the modeled-time SLOs of other benches.
+#: The flash phase offers far more than sustainable load; the shed bound
+#: caps whole-trace loss while admission control absorbs the spike.
+SCENARIO_SLOS = {
+    "steady": {"p99_latency_s": 5e-4, "max_shed_rate": 1e-3},
+    "flash-crowd": {"p99_latency_s": 1e-3, "max_shed_rate": 0.75},
+}
+
+CALIBRATION_GRID = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def score_run(report, slo) -> dict:
+    """Cost x SLO-penalty scoring of one replayed run."""
+    stats = report.stats
+    answered = int(stats.queries_answered)
+    cost_us = stats.busy_time_s / answered * 1e6 if answered else float("inf")
+    penalty = 1.0
+    violations = []
+    ratio = report.latency_p99_s / slo["p99_latency_s"]
+    penalty *= max(1.0, ratio)
+    if ratio > 1.0:
+        violations.append("p99")
+    ratio = report.shed_rate / slo["max_shed_rate"]
+    penalty *= max(1.0, ratio)
+    if ratio > 1.0:
+        violations.append("shed")
+    return {
+        "cost_us_per_query": cost_us,
+        "penalty": penalty,
+        "score": cost_us * penalty,
+        "slo_violations": violations,
+        "slo_met": not violations,
+    }
+
+
+def run_one(scenario_name, label, backend_keys, profile_path, args):
+    scenario = make_scenario(scenario_name, scale=args.scale, seed=args.seed)
+    cluster = ClusterService(
+        config=ClusterConfig(
+            n_replicas=args.replicas,
+            max_batch_size=args.max_batch,
+            max_wait_s=args.max_wait_s,
+            max_pending=args.max_pending,
+            backends=tuple(backend_keys),
+            calibration_path=str(profile_path),
+        )
+    )
+    report = replay(
+        cluster,
+        scenario,
+        admission_window_s=ADMISSION_WINDOW_S,
+        check_answers=True,
+    )
+    backend_counts: dict = {}
+    for replica in cluster.replicas:
+        for key, count in replica.stats().backend_choices.items():
+            backend_counts[key] = backend_counts.get(key, 0) + count
+    row = {
+        "scenario": scenario_name,
+        "config": label,
+        "backends": list(backend_keys),
+        "offered": report.queries_offered,
+        "admitted": report.queries_admitted,
+        "shed_rate": report.shed_rate,
+        "throughput_qps": report.throughput_qps,
+        "latency_p50_us": report.latency_p50_s * 1e6,
+        "latency_p99_us": report.latency_p99_s * 1e6,
+        "batches_by_backend": backend_counts,
+    }
+    row.update(score_run(report, SCENARIO_SLOS[scenario_name]))
+    return row
+
+
+def live_calibration(args):
+    """Measure this host's kernels; report fitted lines and crossover."""
+    start = time.perf_counter()
+    profile = calibrate_backends(
+        ("smallbatch", "numpy"),
+        batch_sizes=CALIBRATION_GRID,
+        repeats=args.repeats,
+        warmup=1,
+        n_nodes=args.calibration_nodes,
+        seed=args.seed,
+    )
+    wall_s = time.perf_counter() - start
+    dispatcher = dispatcher_for(("smallbatch", "numpy"), profile=profile)
+    crossover = dispatcher.crossover_batch_size(max_batch=max(CALIBRATION_GRID))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    profile.save(RESULTS_DIR / "backends_profile.json")
+    return {
+        "wall_s": wall_s,
+        "crossover_batch_size": crossover,
+        "backends": {
+            key: {
+                "launch_overhead_us": cal.launch_overhead_s * 1e6,
+                "per_query_ns": cal.per_query_s * 1e9,
+                "residual": cal.residual,
+            }
+            for key, cal in sorted(profile.entries.items())
+        },
+    }
+
+
+def render_table(config, live, rows, ratios) -> str:
+    lines = [
+        "Calibrated dispatch vs static backends (measured launch costs)",
+        f"replicas           : {config['replicas']} "
+        f"(max_pending={config['max_pending']})",
+        f"batching           : max_batch={config['max_batch']}, "
+        f"max_wait={config['max_wait_us']:g}us",
+        f"scenario scale     : {config['scale']:g} (durations; rates fixed)",
+        f"profile            : {config['profile_source']}",
+        "score              : busy-us/query x SLO penalty (lower is better)",
+        "",
+    ]
+    if live is not None:
+        lines.append("live calibration (this host, ungated):")
+        for key, fit in live["backends"].items():
+            lines.append(
+                f"  {key:<12} launch {fit['launch_overhead_us']:>8.2f}us  "
+                f"+ {fit['per_query_ns']:>8.2f}ns/query"
+            )
+        cross = live["crossover_batch_size"]
+        lines.append(
+            f"  measured crossover : "
+            f"{cross if cross is not None else 'none in grid'}"
+        )
+        lines.append("")
+    lines.append(
+        f"{'scenario':<14} {'config':<14} {'shed':>7} {'p99 us':>9} "
+        f"{'cost us':>8} {'penalty':>8} {'score':>9} {'SLO':>4}  batches"
+    )
+    for row in rows:
+        by_backend = ", ".join(
+            f"{k}:{v}" for k, v in sorted(row["batches_by_backend"].items())
+        )
+        lines.append(
+            f"{row['scenario']:<14} {row['config']:<14} "
+            f"{row['shed_rate']:>6.1%} {row['latency_p99_us']:>9.1f} "
+            f"{row['cost_us_per_query']:>8.3f} {row['penalty']:>8.2f} "
+            f"{row['score']:>9.3f} {'ok' if row['slo_met'] else 'VIOL':>4}  "
+            f"{by_backend}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'scenario':<14} {'best static':>12} {'calibrated':>11} {'ratio':>7}"
+        "  (best_static_score / calibrated_score; >= 1 = match-or-beat)"
+    )
+    for name, entry in ratios.items():
+        lines.append(
+            f"{name:<14} {entry['best_static_score']:>12.3f} "
+            f"{entry['calibrated_score']:>11.3f} {entry['ratio']:>7.3f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--replicas", type=int, default=4)
+    parser.add_argument("--max-pending", type=int, default=32768)
+    parser.add_argument("--max-batch", type=int, default=1024)
+    parser.add_argument("--max-wait-s", type=float, default=4e-4)
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=BENCH_SCALE,
+        help="scenario duration scale (default: REPRO_BENCH_SCALE)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="calibration timing repeats"
+    )
+    parser.add_argument(
+        "--calibration-nodes", type=int, default=1024, help="calibration tree"
+    )
+    parser.add_argument(
+        "--skip-calibration",
+        action="store_true",
+        help="skip the live calibration pass (dispatch comparison only)",
+    )
+    parser.add_argument(
+        "--live",
+        action="store_true",
+        help="drive the dispatch comparison with the live-measured profile "
+        "instead of the committed reference (nondeterministic)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless calibrated dispatch matches or beats the "
+        "best static backend on every scenario and meets every SLO",
+    )
+    args = parser.parse_args(argv)
+
+    start = time.perf_counter()
+    live = None if args.skip_calibration else live_calibration(args)
+    if args.live and live is None:
+        parser.error("--live requires the calibration pass")
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    if args.live:
+        profile_path = RESULTS_DIR / "backends_profile.json"
+        profile_source = "live-measured (nondeterministic)"
+    else:
+        profile_path = RESULTS_DIR / "backends_reference_profile.json"
+        REFERENCE_PROFILE.save(profile_path)
+        profile_source = "committed reference (bit-deterministic)"
+
+    rows = []
+    for scenario_name in sorted(SCENARIO_SLOS):
+        for label, backend_keys in CONFIGS:
+            rows.append(
+                run_one(scenario_name, label, backend_keys, profile_path, args)
+            )
+    wall_s = time.perf_counter() - start
+
+    ratios = {}
+    for scenario_name in sorted(SCENARIO_SLOS):
+        scenario_rows = [r for r in rows if r["scenario"] == scenario_name]
+        statics = [r for r in scenario_rows if r["config"] != "calibrated"]
+        calibrated = next(
+            r for r in scenario_rows if r["config"] == "calibrated"
+        )
+        best_static = min(statics, key=lambda r: r["score"])
+        ratios[scenario_name] = {
+            "best_static_config": best_static["config"],
+            "best_static_score": best_static["score"],
+            "calibrated_score": calibrated["score"],
+            "ratio": best_static["score"] / calibrated["score"],
+        }
+
+    calibrated_rows = [r for r in rows if r["config"] == "calibrated"]
+    headline = {
+        "calibrated_vs_best_static": min(
+            entry["ratio"] for entry in ratios.values()
+        ),
+        "calibrated_slo_violations": sum(
+            len(r["slo_violations"]) for r in calibrated_rows
+        ),
+        "scenarios_run": len(ratios),
+        "calibrated_steady_cost_us": next(
+            r["cost_us_per_query"]
+            for r in calibrated_rows
+            if r["scenario"] == "steady"
+        ),
+    }
+
+    config = {
+        "replicas": args.replicas,
+        "max_pending": args.max_pending,
+        "max_batch": args.max_batch,
+        "max_wait_us": args.max_wait_s * 1e6,
+        "scale": args.scale,
+        "seed": args.seed,
+        "bench_scale": BENCH_SCALE,
+        "admission_window_ms": ADMISSION_WINDOW_S * 1e3,
+        "profile_source": profile_source,
+        "reference_profile": REFERENCE_PROFILE.to_dict(),
+        "slos": SCENARIO_SLOS,
+    }
+    table = render_table(config, live, rows, ratios)
+    print(table)
+
+    (RESULTS_DIR / "backends.txt").write_text(table + "\n", encoding="utf-8")
+    payload = {
+        "benchmark": "backends",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "config": config,
+        "live_calibration": live,
+        "rows": rows,
+        "ratios": ratios,
+        "wall_s": wall_s,
+        "headline": headline,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {JSON_PATH} and {RESULTS_DIR / 'backends.txt'}")
+
+    if args.check:
+        failures = []
+        if headline["scenarios_run"] != len(SCENARIO_SLOS):
+            failures.append(
+                f"expected {len(SCENARIO_SLOS)} scenarios, "
+                f"ran {headline['scenarios_run']}"
+            )
+        # The calibrated dispatcher argmins over the very profile the
+        # statics are charged with, so match-or-beat is by construction;
+        # the epsilon absorbs float rounding in the score division.
+        if headline["calibrated_vs_best_static"] < 0.999:
+            worst = min(ratios, key=lambda n: ratios[n]["ratio"])
+            failures.append(
+                "calibrated dispatch lost to the best static backend on "
+                f"{worst} (ratio {ratios[worst]['ratio']:.3f})"
+            )
+        for row in calibrated_rows:
+            if not row["slo_met"]:
+                failures.append(
+                    f"calibrated run violated its SLO on {row['scenario']}: "
+                    f"{row['slo_violations']} "
+                    f"(p99={row['latency_p99_us']:.1f}us, "
+                    f"shed={row['shed_rate']:.2%})"
+                )
+        if live is not None and live["crossover_batch_size"] is None:
+            # Not a hard failure: a host where one kernel dominates the
+            # whole grid is legal — but say so loudly.
+            print(
+                "note: live calibration found no crossover in the grid "
+                "(one backend dominates on this host)",
+                file=sys.stderr,
+            )
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            "check ok: calibrated dispatch matched or beat the best static "
+            f"backend ({headline['calibrated_vs_best_static']:.3f}x) and met "
+            "every declared SLO"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

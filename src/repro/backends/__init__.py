@@ -1,0 +1,83 @@
+"""Real kernel backends and measured calibration for the serving stack.
+
+Until this package, the dispatcher's "devices" were priced fictions: every
+backend ran the same vectorized NumPy kernel and only the modeled roofline
+constants differed.  :mod:`repro.backends` makes them real:
+
+* :mod:`~repro.backends.base` — the contract (``compile → bind → launch →
+  readback`` plus ``capabilities()``), modeled on reikna's CLUDA layer, and
+  the process-wide backend registry;
+* :mod:`~repro.backends.numpy_backend` — the existing vectorized paths as
+  backends (``"numpy"``, ``"numpy-seq"``); the continuity anchors;
+* :mod:`~repro.backends.smallbatch` — a tuned low-overhead kernel for small
+  batches (``"smallbatch"``): compile-time-specialized tables, fused probe
+  passes, preallocated answer scratch;
+* :mod:`~repro.backends.pool` — an opt-in multiprocess worker-pool device
+  (``"pool"``) over shared-memory columnar blocks;
+* :mod:`~repro.backends.calibrate` — the measurement harness: seeded
+  batch-size grids, robust least-squares fits, JSON
+  :class:`~repro.backends.calibrate.CalibrationProfile` artifacts that
+  :class:`~repro.service.dispatch.CostModelDispatcher` consumes in place of
+  the hardcoded specs.
+
+Importing the package registers the built-in backends by key.  Registration
+is factory-based and side-effect free: no worker process is forked and no
+scratch is allocated until a backend is actually requested through
+:func:`get_kernel_backend`.
+"""
+
+from .base import (
+    BackendCapabilities,
+    CompiledKernel,
+    KernelBackend,
+    Launch,
+    available_backends,
+    get_kernel_backend,
+    register_backend,
+)
+from .calibrate import (
+    DEFAULT_CALIBRATION_GRID,
+    BackendCalibration,
+    CalibrationProfile,
+    calibrate_backends,
+    fit_launch_cost,
+)
+from .numpy_backend import NUMPY_BACKEND_KEY, NUMPY_SEQ_BACKEND_KEY, NumpyBackend
+from .pool import POOL_BACKEND_KEY, ProcessPoolBackend
+from .smallbatch import SMALLBATCH_BACKEND_KEY, SmallBatchBackend
+
+__all__ = [
+    "BackendCapabilities",
+    "Launch",
+    "CompiledKernel",
+    "KernelBackend",
+    "register_backend",
+    "get_kernel_backend",
+    "available_backends",
+    "NumpyBackend",
+    "NUMPY_BACKEND_KEY",
+    "NUMPY_SEQ_BACKEND_KEY",
+    "SmallBatchBackend",
+    "SMALLBATCH_BACKEND_KEY",
+    "ProcessPoolBackend",
+    "POOL_BACKEND_KEY",
+    "BackendCalibration",
+    "CalibrationProfile",
+    "calibrate_backends",
+    "fit_launch_cost",
+    "DEFAULT_CALIBRATION_GRID",
+]
+
+
+def _register_builtin_backends() -> None:
+    register_backend(NUMPY_BACKEND_KEY, NumpyBackend, replace=True)
+    register_backend(
+        NUMPY_SEQ_BACKEND_KEY,
+        lambda: NumpyBackend(sequential=True),
+        replace=True,
+    )
+    register_backend(SMALLBATCH_BACKEND_KEY, SmallBatchBackend, replace=True)
+    register_backend(POOL_BACKEND_KEY, ProcessPoolBackend, replace=True)
+
+
+_register_builtin_backends()

@@ -44,10 +44,13 @@ __all__ = [
     "QueryBreakdown",
     "DispatchError",
     "ReplicaUtilization",
+    "BackendUsage",
     "batch_spans",
     "query_breakdown",
     "dispatch_error",
     "replica_utilization",
+    "backend_breakdown",
+    "backend_table",
     "tail_attribution",
     "decomposition_summary",
     "main",
@@ -397,6 +400,88 @@ def tail_attribution(
     return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class BackendUsage:
+    """One backend lane's share of the serving work, cluster-wide.
+
+    ``lane`` is the backend key the batches were dispatched to (or the
+    ``"cache"`` lane); latency percentiles are over the queries whose
+    answering batch ran on this lane.
+    """
+
+    lane: str
+    batches: int
+    queries: int
+    busy_s: float
+    p50_latency_s: float
+    p99_latency_s: float
+
+
+def backend_breakdown(table: TraceTable) -> List[BackendUsage]:
+    """Per-backend serving breakdown: who answered what, and how slowly.
+
+    The dispatch satellite of the backends work: with several real kernel
+    backends live, tail attribution needs to say *which backend* a slow
+    query was served by, not just which replica.  Joins every batch span's
+    lane onto the per-query latency decomposition; rows are sorted by
+    descending query count.
+    """
+    spans = batch_spans(table)
+    if not spans:
+        return []
+    lane_of_batch: Dict[int, str] = {s.batch: s.lane for s in spans}
+    batches: Dict[str, int] = {}
+    busy: Dict[str, float] = {}
+    for span in spans:
+        batches[span.lane] = batches.get(span.lane, 0) + 1
+        busy[span.lane] = busy.get(span.lane, 0.0) + span.service_s
+    breakdown = query_breakdown(table)
+    lat_by_lane: Dict[str, List[float]] = {}
+    for i in range(breakdown.n_queries):
+        if bool(breakdown.cache_lane[i]):
+            lane = "cache"
+        else:
+            lane = lane_of_batch.get(int(breakdown.batch[i]), "")
+        if not lane:
+            continue
+        lat_by_lane.setdefault(lane, []).append(float(breakdown.latency_s[i]))
+    rows = []
+    for lane in sorted(batches, key=lambda k: -len(lat_by_lane.get(k, []))):
+        lats = np.asarray(lat_by_lane.get(lane, []), dtype=np.float64)
+        rows.append(
+            BackendUsage(
+                lane=lane,
+                batches=batches[lane],
+                queries=int(lats.size),
+                busy_s=busy[lane],
+                p50_latency_s=(float(np.percentile(lats, 50))
+                               if lats.size else float("nan")),
+                p99_latency_s=(float(np.percentile(lats, 99))
+                               if lats.size else float("nan")),
+            )
+        )
+    return rows
+
+
+def backend_table(table: TraceTable) -> str:
+    """Per-backend serving breakdown as an aligned text block."""
+    rows = backend_breakdown(table)
+    if not rows:
+        return "backend breakdown     : no batch spans in trace"
+    lines = [
+        "backend breakdown (which backend answered what):",
+        f"  {'lane':<12} {'batches':>8} {'queries':>9} {'busy ms':>10} "
+        f"{'p50 us':>9} {'p99 us':>9}",
+    ]
+    for row in rows:
+        lines.append(
+            f"  {row.lane:<12} {row.batches:>8} {row.queries:>9} "
+            f"{row.busy_s * 1e3:>10.3f} {row.p50_latency_s * 1e6:>9.2f} "
+            f"{row.p99_latency_s * 1e6:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
 def utilization_table(table: TraceTable) -> str:
     """Per-(replica, lane) busy fractions as an aligned text block."""
     rows = replica_utilization(table)
@@ -489,6 +574,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print(tail_attribution(table))
     print()
     print(utilization_table(table))
+    print()
+    print(backend_table(table))
     print()
     print(dispatch_error_summary(table))
 

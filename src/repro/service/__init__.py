@@ -52,7 +52,7 @@ from .cache import (
     AnswerCache,
     answer_cache_probe_time,
 )
-from .clock import SimulatedClock
+from .clock import SimulatedClock, WallClock
 from .cluster import ClusterService, ClusterStats
 from .config import ClusterConfig, ServiceConfig
 from .dispatch import (
@@ -61,7 +61,11 @@ from .dispatch import (
     GPU_BATCH_BACKEND,
     Backend,
     CostModelDispatcher,
+    dispatcher_for,
     estimate_batch_query_time,
+    known_backend_keys,
+    load_calibration_profile,
+    make_backend,
 )
 from .faults import FAULT_ACTIONS, FaultEvent, FaultInjector
 from .registry import (
@@ -102,8 +106,13 @@ __all__ = [
     "CPU_SEQUENTIAL_BACKEND",
     "GPU_BATCH_BACKEND",
     "DEFAULT_BACKENDS",
+    "make_backend",
+    "known_backend_keys",
     "estimate_batch_query_time",
     "CostModelDispatcher",
+    "dispatcher_for",
+    "load_calibration_profile",
+    "WallClock",
     "ServiceStats",
     "StatsCollector",
     "batch_size_bucket",

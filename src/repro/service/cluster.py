@@ -84,7 +84,11 @@ from ..obs.events import (
 from .cache import MIN_CACHE_BYTES
 from .clock import SimulatedClock
 from .config import ClusterConfig, ServiceConfig
-from .dispatch import CostModelDispatcher
+from .dispatch import (
+    CostModelDispatcher,
+    dispatcher_for,
+    load_calibration_profile,
+)
 from .faults import FaultEvent, FaultInjector
 from .routing import HashRing, LeastOutstandingRouter, Router, make_router
 from .scheduler import BatchPolicy, FlushedBatch
@@ -393,7 +397,22 @@ class ClusterService:
         self.ring = HashRing(range(n_workers))
         self.clock = SimulatedClock(config.start_time)
         self._max_pending = config.max_pending
-        factory = dispatcher_factory or CostModelDispatcher
+        if dispatcher_factory is not None:
+            factory = dispatcher_factory
+        elif config.backends is not None or config.calibration_path is not None:
+            # Load a measured profile once and share it across every
+            # replica's dispatcher (they price identically by construction).
+            profile = (
+                load_calibration_profile(config.calibration_path)
+                if config.calibration_path is not None
+                else None
+            )
+            backend_keys = config.backends
+
+            def factory() -> CostModelDispatcher:
+                return dispatcher_for(backend_keys, profile=profile)
+        else:
+            factory = CostModelDispatcher
         index_budget = (None if config.capacity_bytes is None
                         else int(config.capacity_bytes))
         if config.answer_cache_bytes is None:

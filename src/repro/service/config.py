@@ -39,7 +39,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass
-from typing import Any, ClassVar, Dict, FrozenSet, Optional, Type, TypeVar
+from typing import Any, ClassVar, Dict, FrozenSet, Optional, Tuple, Type, TypeVar
 
 from ..errors import ServiceError
 from .routing import LeastOutstandingRouter
@@ -48,6 +48,23 @@ from .scheduler import BatchPolicy
 __all__ = ["ServiceConfig", "ClusterConfig"]
 
 C = TypeVar("C", bound="_ConfigBase")
+
+
+def _normalize_backends(config: Any) -> None:
+    """Validate and canonicalize a config's ``backends`` field in place.
+
+    JSON round-trips turn tuples into lists; coerce back to a tuple (the
+    frozen dataclasses need a hashable, immutable value) and reject empty or
+    duplicated backend sets eagerly.
+    """
+    if config.backends is None:
+        return
+    keys = tuple(str(key) for key in config.backends)
+    if not keys:
+        raise ServiceError("backends must name at least one backend (or None)")
+    if len(set(keys)) != len(keys):
+        raise ServiceError(f"backend keys must be unique, got {list(keys)}")
+    object.__setattr__(config, "backends", keys)
 
 
 @dataclass(frozen=True)
@@ -145,6 +162,14 @@ class ServiceConfig(_ConfigBase):
     answer_cache_seed: int = 0
     #: Pre-sizing of the ticket-indexed result tables (``None`` = grow).
     ticket_capacity: Optional[int] = None
+    #: Backend keys the dispatcher prices (resolved through
+    #: :func:`~repro.service.dispatch.make_backend`); ``None`` keeps the
+    #: modeled CPU/GPU default pair.
+    backends: Optional[Tuple[str, ...]] = None
+    #: Path to a measured calibration-profile JSON
+    #: (:class:`~repro.backends.calibrate.CalibrationProfile`); ``None``
+    #: keeps the deterministic modeled pricing.
+    calibration_path: Optional[str] = None
 
     TUNABLE: ClassVar[FrozenSet[str]] = frozenset(
         {"max_batch_size", "max_wait_s"}
@@ -159,6 +184,7 @@ class ServiceConfig(_ConfigBase):
             raise ServiceError("capacity_bytes must be positive (or None)")
         if self.ticket_capacity is not None and int(self.ticket_capacity) < 0:
             raise ServiceError("ticket_capacity must be non-negative (or None)")
+        _normalize_backends(self)
 
     def batch_policy(self) -> BatchPolicy:
         """The :class:`BatchPolicy` this config describes.
@@ -206,6 +232,10 @@ class ClusterConfig(_ConfigBase):
     #: Hedged-dispatch delay (``None`` disables hedging).
     hedge_delay_s: Optional[float] = None
     max_retries: int = 3
+    #: Backend keys every worker's dispatcher prices (``None`` = defaults).
+    backends: Optional[Tuple[str, ...]] = None
+    #: Measured calibration-profile JSON path (``None`` = modeled pricing).
+    calibration_path: Optional[str] = None
 
     #: ``n_replicas`` joined the tunable set with reactive autoscaling:
     #: ``apply_tuning(n_replicas=...)`` lands through ``scale_to()`` —
@@ -229,6 +259,7 @@ class ClusterConfig(_ConfigBase):
             raise ServiceError("max_retries must be at least 1")
         if self.capacity_bytes is not None and int(self.capacity_bytes) < 1:
             raise ServiceError("capacity_bytes must be positive (or None)")
+        _normalize_backends(self)
 
     def batch_policy(self) -> BatchPolicy:
         """The :class:`BatchPolicy` every worker's schedulers run under.
@@ -256,4 +287,6 @@ class ClusterConfig(_ConfigBase):
             capacity_bytes=capacity_bytes,
             dedup=self.dedup,
             answer_cache_bytes=answer_cache_bytes,
+            backends=self.backends,
+            calibration_path=self.calibration_path,
         )

@@ -15,24 +15,44 @@ execution layer charges with, using the per-query kernel shape published by
 the LCA layer (:data:`repro.lca.INLABEL_QUERY_COST`).  The decision is thus a
 comparison of the *actual* modeled costs, not a separately-tuned threshold
 that could drift out of sync with the cost model.
+
+A dispatcher can alternatively price batches from a **measured**
+:class:`~repro.backends.calibrate.CalibrationProfile` (``profile=``): the
+predicted time becomes the profile's fitted launch-overhead + per-query line
+for the backend, as timed on the actual host, and the dispatch crossover
+becomes a *derived* quantity of the measurement.  The modeled roofline specs
+remain the deterministic default — no profile, no behavior change.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
-from ..device import GTX980, XEON_X5650_SINGLE, DeviceSpec, modeled_kernel_time
+from ..device import (
+    GTX980,
+    XEON_X5650_MULTI,
+    XEON_X5650_SINGLE,
+    DeviceSpec,
+    modeled_kernel_time,
+)
 from ..errors import ServiceError
 from ..lca import INLABEL_QUERY_COST, QueryKernelCost
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..backends.calibrate import CalibrationProfile
 
 __all__ = [
     "Backend",
     "CPU_SEQUENTIAL_BACKEND",
     "GPU_BATCH_BACKEND",
     "DEFAULT_BACKENDS",
+    "make_backend",
+    "known_backend_keys",
     "estimate_batch_query_time",
     "CostModelDispatcher",
+    "dispatcher_for",
+    "load_calibration_profile",
 ]
 
 
@@ -45,12 +65,19 @@ class Backend:
     thread per query (the bulk-parallel GPU kernel).  The registry builds the
     matching algorithm flavour (:class:`~repro.lca.SequentialInlabelLCA` vs
     :class:`~repro.lca.InlabelLCA`) from the same distinction.
+
+    ``kernel`` optionally names a *real* kernel backend from the
+    :mod:`repro.backends` registry; the index registry then compiles that
+    backend's kernel as the serving artifact instead of the legacy flavour
+    classes.  Empty (the default) keeps the legacy artifact — existing
+    configs and replays are untouched.
     """
 
     key: str
     label: str
     spec: DeviceSpec
     sequential: bool
+    kernel: str = ""
 
 
 #: Single-core CPU serving: no launch overhead to speak of, no parallelism.
@@ -67,18 +94,73 @@ GPU_BATCH_BACKEND = Backend(
 #: The paper's two serving endpoints (Fig. 6's extreme curves).
 DEFAULT_BACKENDS: Tuple[Backend, ...] = (CPU_SEQUENTIAL_BACKEND, GPU_BATCH_BACKEND)
 
+#: Serving descriptors for every dispatchable backend, by key.  The modeled
+#: endpoints keep their historic keys; the real kernel backends carry their
+#: registry key in ``kernel`` so the index registry compiles them.
+_BACKEND_PRESETS: Dict[str, Backend] = {
+    "cpu1": CPU_SEQUENTIAL_BACKEND,
+    "gpu": GPU_BATCH_BACKEND,
+    "numpy": Backend(
+        key="numpy", label="Vectorized NumPy Inlabel", spec=GTX980,
+        sequential=False, kernel="numpy",
+    ),
+    "numpy-seq": Backend(
+        key="numpy-seq", label="Sequential NumPy Inlabel",
+        spec=XEON_X5650_SINGLE, sequential=True, kernel="numpy-seq",
+    ),
+    "smallbatch": Backend(
+        key="smallbatch", label="Tuned small-batch Inlabel",
+        spec=XEON_X5650_SINGLE, sequential=True, kernel="smallbatch",
+    ),
+    "pool": Backend(
+        key="pool", label="Process-pool Inlabel", spec=XEON_X5650_MULTI,
+        sequential=False, kernel="pool",
+    ),
+}
 
-def estimate_batch_query_time(backend: Backend, batch_size: int, *,
-                              cost: QueryKernelCost = INLABEL_QUERY_COST) -> float:
-    """Modeled time for ``backend`` to answer one batch of ``batch_size`` queries.
 
-    Mirrors exactly the kernel shapes the two execution flavours charge:
-    a sequential backend runs one thread over all queries reading the node
-    tables (:meth:`ExecutionContext.sequential`), a parallel backend launches
-    one thread per query and also writes the answer array.
+def known_backend_keys() -> Tuple[str, ...]:
+    """Every backend key :func:`make_backend` resolves, sorted."""
+    return tuple(sorted(_BACKEND_PRESETS))
+
+
+def make_backend(key: str) -> Backend:
+    """The serving :class:`Backend` descriptor for ``key``.
+
+    Resolves both the modeled endpoints (``"cpu1"``, ``"gpu"``) and the real
+    kernel backends (``"numpy"``, ``"numpy-seq"``, ``"smallbatch"``,
+    ``"pool"``); configs name backends through this table.
+    """
+    backend = _BACKEND_PRESETS.get(key)
+    if backend is None:
+        raise ServiceError(
+            f"unknown backend key {key!r}; known: {list(known_backend_keys())}"
+        )
+    return backend
+
+
+def estimate_batch_query_time(
+    backend: Backend, batch_size: int, *,
+    cost: QueryKernelCost = INLABEL_QUERY_COST,
+    profile: Optional["CalibrationProfile"] = None,
+) -> float:
+    """Predicted time for ``backend`` to answer one batch of ``batch_size`` queries.
+
+    With no ``profile`` (the deterministic default) this mirrors exactly the
+    kernel shapes the two execution flavours charge: a sequential backend
+    runs one thread over all queries reading the node tables
+    (:meth:`ExecutionContext.sequential`), a parallel backend launches one
+    thread per query and also writes the answer array.
+
+    With a measured ``profile`` the prediction is the backend's fitted
+    launch-overhead + per-query cost line instead; pricing a batch outside
+    the profile's calibrated range raises a typed
+    :class:`~repro.errors.DeviceError` rather than extrapolating.
     """
     if batch_size < 1:
         raise ServiceError("batch_size must be at least 1")
+    if profile is not None:
+        return profile.predict(backend.key, batch_size)
     q = float(batch_size)
     if backend.sequential:
         return modeled_kernel_time(
@@ -103,7 +185,8 @@ class CostModelDispatcher:
     """
 
     def __init__(self, backends: Sequence[Backend] = DEFAULT_BACKENDS, *,
-                 cost: QueryKernelCost = INLABEL_QUERY_COST) -> None:
+                 cost: QueryKernelCost = INLABEL_QUERY_COST,
+                 profile: Optional["CalibrationProfile"] = None) -> None:
         if not backends:
             raise ServiceError("dispatcher needs at least one backend")
         keys = [b.key for b in backends]
@@ -111,16 +194,24 @@ class CostModelDispatcher:
             raise ServiceError(f"backend keys must be unique, got {keys}")
         self.backends: Tuple[Backend, ...] = tuple(backends)
         self.cost = cost
-        # choose() is a pure function of the batch size (backends and cost
-        # are fixed at construction) and the service consults it once per
-        # flush; realized batch sizes repeat heavily, so memoizing turns the
-        # per-flush decision into one dict probe.
+        #: Measured calibration profile; ``None`` keeps the modeled pricing.
+        self.profile = profile
+        if profile is not None:
+            # Fail at construction, not mid-serve, if a backend was never
+            # calibrated (and pin down the usable batch-size window).
+            profile.batch_range(keys)
+        # choose() is a pure function of the batch size (backends, cost and
+        # profile are fixed at construction) and the service consults it once
+        # per flush; realized batch sizes repeat heavily, so memoizing turns
+        # the per-flush decision into one dict probe.
         self._choice_cache: dict = {}
         self._estimate_cache: dict = {}
 
     def estimate(self, backend: Backend, batch_size: int) -> float:
-        """Modeled serving time of one batch on ``backend``."""
-        return estimate_batch_query_time(backend, batch_size, cost=self.cost)
+        """Predicted serving time of one batch on ``backend``."""
+        return estimate_batch_query_time(
+            backend, batch_size, cost=self.cost, profile=self.profile
+        )
 
     def estimates(self, batch_size: int) -> Tuple[Tuple[Backend, float], ...]:
         """Every backend with its modeled time for this batch size."""
@@ -151,17 +242,30 @@ class CostModelDispatcher:
         """Smallest batch size whose choice differs from the batch-size-1 choice.
 
         Found by doubling then bisecting, assuming the decision flips at most
-        once over ``[1, max_batch]`` — true for launch-overhead-vs-bandwidth
-        trade-offs like CPU/GPU serving.  Returns ``None`` when the choice
-        never changes (e.g. a single-backend dispatcher).
+        once over the scanned range — true for launch-overhead-vs-bandwidth
+        trade-offs like CPU/GPU serving, and for fitted
+        overhead-plus-slope calibration lines by construction.  Returns
+        ``None`` when the choice never changes (e.g. a single-backend
+        dispatcher).  Under a measured profile the scan is confined to the
+        batch-size window every backend is calibrated over, making the
+        crossover a quantity *derived* from the measurement.
         """
-        base = self.choose(1)
-        hi = 1
+        start = 1
+        if self.profile is not None:
+            lo_cal, hi_cal = self.profile.batch_range(
+                [b.key for b in self.backends]
+            )
+            start = max(start, lo_cal)
+            max_batch = min(max_batch, hi_cal)
+            if max_batch < start:
+                return None
+        base = self.choose(start)
+        hi = start
         while self.choose(hi) == base:
             if hi >= max_batch:
                 return None
             hi = min(hi * 2, max_batch)
-        lo = hi // 2  # choose(lo) == base, choose(hi) != base
+        lo = max(hi // 2, start)  # choose(lo) == base, choose(hi) != base
         while hi - lo > 1:
             mid = (lo + hi) // 2
             if self.choose(mid) == base:
@@ -172,3 +276,41 @@ class CostModelDispatcher:
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return f"CostModelDispatcher(backends={[b.key for b in self.backends]})"
+
+
+def load_calibration_profile(path: str) -> "CalibrationProfile":
+    """Read a measured :class:`CalibrationProfile` from a JSON file.
+
+    Imported lazily so that the (large) backend package only loads when a
+    config actually opts into measured dispatch.
+    """
+    from ..backends.calibrate import CalibrationProfile
+
+    return CalibrationProfile.load(path)
+
+
+def dispatcher_for(
+    backend_keys: Optional[Sequence[str]],
+    calibration_path: Optional[str] = None,
+    *,
+    profile: Optional["CalibrationProfile"] = None,
+    cost: QueryKernelCost = INLABEL_QUERY_COST,
+) -> CostModelDispatcher:
+    """Build the dispatcher a config's backend fields describe.
+
+    ``backend_keys`` name backends through :func:`make_backend` (``None``
+    keeps the modeled CPU/GPU defaults); ``calibration_path`` points at a
+    saved profile JSON (``profile`` passes one already loaded — at most one
+    of the two).  This is the single seam :class:`~repro.service.service.
+    LCAQueryService` and the cluster use to turn
+    :class:`~repro.service.config.ServiceConfig` knobs into a dispatcher.
+    """
+    if calibration_path is not None and profile is not None:
+        raise ServiceError(
+            "pass either calibration_path or a preloaded profile, not both"
+        )
+    if calibration_path is not None:
+        profile = load_calibration_profile(calibration_path)
+    backends = (DEFAULT_BACKENDS if backend_keys is None
+                else tuple(make_backend(key) for key in backend_keys))
+    return CostModelDispatcher(backends, cost=cost, profile=profile)

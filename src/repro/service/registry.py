@@ -92,7 +92,10 @@ class ArtifactKey:
 
     ``variant`` distinguishes flavours of the same kind on the same device —
     for ``"lca"`` it is ``"sequential"`` or ``"parallel"`` (which execution
-    flavour of the Inlabel algorithm the entry holds).
+    flavour of the Inlabel algorithm the entry holds), or the key of a real
+    kernel backend from the :mod:`repro.backends` registry (the entry then
+    holds that backend's compiled kernel).  Index artifacts are per-backend:
+    two backends serving the same dataset each compile and cache their own.
     """
 
     dataset: str
@@ -254,7 +257,14 @@ class IndexRegistry:
             parents = self.store.tree(key.dataset)
             if key.variant == "sequential":
                 return SequentialInlabelLCA(parents, ctx=ctx)
-            return InlabelLCA(parents, ctx=ctx)
+            if key.variant in ("", "parallel"):
+                return InlabelLCA(parents, ctx=ctx)
+            # Any other variant names a real kernel backend; compile its
+            # per-tree kernel as the artifact (lazy import: the registry
+            # stays usable without the backend package loaded).
+            from ..backends import get_kernel_backend
+
+            return get_kernel_backend(key.variant).compile(parents, ctx=ctx)
         if kind == "tour":
             return build_euler_tour_from_parents(self.store.tree(key.dataset), ctx=ctx)
         if kind == "stats":

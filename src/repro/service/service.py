@@ -42,7 +42,7 @@ bit-identical with the fast path on or off.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 from numpy.typing import ArrayLike
@@ -70,7 +70,7 @@ from ..obs.events import (
 from .cache import AnswerCache, answer_cache_probe_time
 from .clock import SimulatedClock
 from .config import ServiceConfig
-from .dispatch import Backend, CostModelDispatcher
+from .dispatch import Backend, CostModelDispatcher, dispatcher_for
 from .registry import ArtifactKey, ForestStore, IndexRegistry
 from .scheduler import BatchPolicy, FlushedBatch, MicroBatchScheduler
 from .stats import ServiceStats, StatsCollector, grow_table
@@ -243,7 +243,15 @@ class LCAQueryService:
         self.registry = IndexRegistry(self.store,
                                       capacity_bytes=config.capacity_bytes)
         self.policy = config.batch_policy()
-        self.dispatcher = dispatcher or CostModelDispatcher()
+        # An explicit dispatcher= wins (the cluster passes pre-built ones);
+        # otherwise the config's backend fields describe the dispatcher.
+        if dispatcher is None:
+            if config.backends is not None or config.calibration_path is not None:
+                dispatcher = dispatcher_for(config.backends,
+                                            config.calibration_path)
+            else:
+                dispatcher = CostModelDispatcher()
+        self.dispatcher = dispatcher
         self.stats_collector = StatsCollector()
         self._schedulers: Dict[str, MicroBatchScheduler] = {}
         self._dataset_rank: Dict[str, int] = {}
@@ -428,10 +436,11 @@ class LCAQueryService:
         entry, hit = self.registry.fetch_by_key(
             self._artifact_key(dataset, backend), spec=backend.spec)
         service_time = 0.0 if hit else entry.build_time_s
-        ctx = ExecutionContext(backend.spec)
-        entry.artifact.query(np.asarray(xs, dtype=np.int64),
-                             np.asarray(ys, dtype=np.int64), ctx=ctx)
-        service_time += ctx.elapsed
+        _, charge = self._charged_query(
+            entry.artifact, backend,
+            np.asarray(xs, dtype=np.int64), np.asarray(ys, dtype=np.int64),
+            size)
+        service_time += charge
         if self._service_factor != 1.0:
             service_time *= self._service_factor
         start = max(float(issue_s),
@@ -1171,9 +1180,9 @@ class LCAQueryService:
         entry, hit = self.registry.fetch_by_key(
             self._artifact_key(dataset, backend), spec=backend.spec)
         service_time = 0.0 if hit else entry.build_time_s
-        ctx = ExecutionContext(backend.spec)
-        answers = entry.artifact.query(batch.xs, batch.ys, ctx=ctx)
-        service_time += ctx.elapsed
+        answers, charge = self._charged_query(entry.artifact, backend,
+                                              batch.xs, batch.ys, batch.size)
+        service_time += charge
         self._finish_batch(batch, answers, service_time, backend.key,
                            batch.size, dataset=dataset)
 
@@ -1231,9 +1240,9 @@ class LCAQueryService:
                 self._artifact_key(dataset, backend), spec=backend.spec)
             if not hit:
                 service_time += entry.build_time_s
-            ctx = ExecutionContext(backend.spec)
-            unique_answers = entry.artifact.query(ux, uy, ctx=ctx)
-            service_time += ctx.elapsed
+            unique_answers, charge = self._charged_query(
+                entry.artifact, backend, ux, uy, kernel_queries)
+            service_time += charge
             if cache is not None:
                 resets_before = cache.resets
                 cache.insert(space, unique_keys, unique_answers)
@@ -1333,12 +1342,34 @@ class LCAQueryService:
     def _artifact_key(self, dataset: str, backend: Backend) -> ArtifactKey:
         cached = self._artifact_keys.get((dataset, backend.key))
         if cached is None:
-            cached = ArtifactKey(
-                dataset, "lca", backend.spec.name,
-                "sequential" if backend.sequential else "parallel",
+            # A backend naming a real kernel gets its own per-backend
+            # artifact (the registry compiles that kernel); the modeled
+            # endpoints keep the legacy flavour variants.
+            variant = backend.kernel or (
+                "sequential" if backend.sequential else "parallel"
             )
+            cached = ArtifactKey(dataset, "lca", backend.spec.name, variant)
             self._artifact_keys[(dataset, backend.key)] = cached
         return cached
+
+    def _charged_query(self, artifact: Any, backend: Backend,
+                       xs: np.ndarray, ys: np.ndarray,
+                       batch_size: int) -> Tuple[np.ndarray, float]:
+        """Run the kernel; return ``(answers, charged_time)``.
+
+        With no calibration profile on the dispatcher the charge is the
+        modeled :class:`ExecutionContext` elapsed time (bit-identical to the
+        historic path).  With a measured profile the charge is the profile's
+        prediction for this backend and batch size — the same number the
+        dispatcher compared during backend choice, preserving the serving
+        invariant that the dispatch estimate equals the booked charge.
+        """
+        if getattr(self.dispatcher, "profile", None) is None:
+            ctx = ExecutionContext(backend.spec)
+            answers = artifact.query(xs, ys, ctx=ctx)
+            return answers, ctx.elapsed
+        answers = artifact.query(xs, ys)
+        return answers, self.dispatcher.estimate(backend, batch_size)
 
     def __repr__(self) -> str:  # pragma: no cover - debug convenience
         return (f"LCAQueryService(datasets={self.datasets}, "

@@ -1,0 +1,496 @@
+"""Tests for the real kernel backends and measured calibration.
+
+Covers the backend contract (compile → bind → launch → readback), the
+bit-identity of every registered backend against the sequential oracle,
+the calibration fit/profile machinery, and profile-driven dispatch —
+including the property that a calibrated dispatcher always picks the
+argmin of the profile's predicted costs.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backends import (
+    DEFAULT_CALIBRATION_GRID,
+    BackendCalibration,
+    BackendCapabilities,
+    CalibrationProfile,
+    NumpyBackend,
+    SmallBatchBackend,
+    available_backends,
+    calibrate_backends,
+    fit_launch_cost,
+    get_kernel_backend,
+    register_backend,
+)
+from repro.device import GTX980, XEON_X5650_SINGLE, ExecutionContext
+from repro.errors import DeviceError, InvalidQueryError, ServiceError
+from repro.graphs.generators import random_attachment_tree
+from repro.lca.reference import BinaryLiftingLCA
+from repro.service import (
+    CostModelDispatcher,
+    LCAQueryService,
+    ServiceConfig,
+    estimate_batch_query_time,
+    make_backend,
+)
+from repro.service.dispatch import dispatcher_for
+
+
+def _tree(n=257, seed=7):
+    return random_attachment_tree(n, seed=seed)
+
+
+def _queries(n, q, seed=11):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, n, size=q, dtype=np.int64),
+        rng.integers(0, n, size=q, dtype=np.int64),
+    )
+
+
+class TestBackendContract:
+    def test_available_backends_lists_builtins(self):
+        keys = available_backends()
+        for key in ("numpy", "numpy-seq", "smallbatch", "pool"):
+            assert key in keys
+
+    def test_get_kernel_backend_unknown_key(self):
+        with pytest.raises(ServiceError, match="unknown kernel backend"):
+            get_kernel_backend("tpu")
+
+    def test_get_kernel_backend_memoizes(self):
+        assert get_kernel_backend("numpy") is get_kernel_backend("numpy")
+
+    def test_register_backend_rejects_duplicates(self):
+        with pytest.raises(ServiceError):
+            register_backend("numpy", NumpyBackend)
+
+    def test_capabilities_validate_batch(self):
+        caps = BackendCapabilities(max_batch=4)
+        caps.validate_batch(4)  # at the limit is fine
+        with pytest.raises(ServiceError):
+            caps.validate_batch(5)
+        BackendCapabilities().validate_batch(1 << 30)  # unbounded
+
+    def test_launch_is_idempotent(self):
+        parents = _tree(64)
+        kernel = get_kernel_backend("smallbatch").compile(parents)
+        xs, ys = _queries(64, 8)
+        launch = kernel.bind(xs, ys)
+        launch.launch()
+        first = launch.readback().copy()
+        launch.launch()  # second launch is a no-op
+        assert np.array_equal(launch.readback(), first)
+
+    def test_all_backends_match_oracle(self):
+        parents = _tree(257)
+        oracle = BinaryLiftingLCA(parents)
+        xs, ys = _queries(257, 301)
+        expected = oracle.query(xs, ys)
+        for key in available_backends():
+            kernel = get_kernel_backend(key).compile(parents)
+            try:
+                got = kernel.query(xs, ys)
+                assert np.array_equal(got, expected), key
+                assert got.dtype == np.int64
+            finally:
+                close = getattr(kernel, "close", None)
+                if close is not None:
+                    close()
+
+    def test_backend_charges_modeled_context(self):
+        parents = _tree(128)
+        xs, ys = _queries(128, 16)
+        for key, spec in (("numpy", GTX980), ("smallbatch", XEON_X5650_SINGLE)):
+            ctx = ExecutionContext(spec)
+            kernel = get_kernel_backend(key).compile(parents, ctx=ctx)
+            before = ctx.elapsed
+            assert before > 0.0  # preprocessing was charged
+            kernel.query(xs, ys, ctx=ctx)
+            assert ctx.elapsed > before  # queries were charged
+
+
+class TestSmallBatchKernel:
+    def test_scalar_path_matches_vectorized(self):
+        parents = _tree(511, seed=3)
+        oracle = BinaryLiftingLCA(parents)
+        kernel = SmallBatchBackend(scratch_size=64).compile(parents)
+        for q in (1, 2, 7, 63, 64):
+            xs, ys = _queries(511, q, seed=q)
+            assert np.array_equal(kernel.query(xs, ys), oracle.query(xs, ys))
+
+    def test_oversized_batch_falls_back(self):
+        parents = _tree(511, seed=3)
+        oracle = BinaryLiftingLCA(parents)
+        kernel = SmallBatchBackend(scratch_size=16).compile(parents)
+        xs, ys = _queries(511, 100, seed=5)  # 100 > 16 → vectorized fallback
+        assert np.array_equal(kernel.query(xs, ys), oracle.query(xs, ys))
+
+    def test_result_valid_until_next_launch(self):
+        parents = _tree(64)
+        kernel = SmallBatchBackend().compile(parents)
+        xs, ys = _queries(64, 4)
+        first = kernel.query(xs, ys).copy()
+        kernel.query(ys, xs)
+        assert np.array_equal(first, kernel.query(xs, ys))
+
+    def test_out_of_range_nodes_rejected(self):
+        parents = _tree(32)
+        kernel = SmallBatchBackend().compile(parents)
+        with pytest.raises(InvalidQueryError):
+            kernel.query(np.array([0]), np.array([32]))
+        with pytest.raises(InvalidQueryError):
+            kernel.query(np.array([-1]), np.array([0]))
+
+    def test_shape_mismatch_rejected(self):
+        parents = _tree(32)
+        kernel = SmallBatchBackend().compile(parents)
+        with pytest.raises(InvalidQueryError):
+            kernel.query(np.array([0, 1]), np.array([2]))
+
+    def test_charge_matches_sequential_model(self):
+        # The smallbatch backend answers on the real CPU but must book the
+        # same modeled cost as the sequential inlabel artifact it replaces.
+        parents = _tree(128)
+        xs, ys = _queries(128, 24)
+        ctx_a = ExecutionContext(XEON_X5650_SINGLE)
+        SmallBatchBackend().compile(parents, ctx=ctx_a).query(xs, ys, ctx=ctx_a)
+        ctx_b = ExecutionContext(XEON_X5650_SINGLE)
+        get_kernel_backend("numpy-seq").compile(parents, ctx=ctx_b).query(
+            xs, ys, ctx=ctx_b
+        )
+        assert ctx_a.elapsed == pytest.approx(ctx_b.elapsed)
+
+
+class TestPoolBackend:
+    def test_pool_matches_oracle_and_survives_close(self):
+        pool_backend = get_kernel_backend("pool")
+        parents = _tree(200, seed=9)
+        oracle = BinaryLiftingLCA(parents)
+        xs, ys = _queries(200, 50, seed=13)
+        expected = oracle.query(xs, ys)
+        kernel = pool_backend.compile(parents)
+        try:
+            assert np.array_equal(kernel.query(xs, ys), expected)
+        finally:
+            kernel.close()
+        # After close the kernel degrades to the in-process path.
+        assert np.array_equal(kernel.query(xs, ys), expected)
+        kernel.close()  # idempotent
+
+    def test_pool_capabilities_are_bounded(self):
+        caps = get_kernel_backend("pool").capabilities()
+        assert caps.parallel
+        assert caps.max_batch is not None
+
+
+def _profile(entries, *, meta=None):
+    return CalibrationProfile(entries=dict(entries), meta=dict(meta or {}))
+
+
+def _entry(key, overhead, per_query, lo=1, hi=1024):
+    return BackendCalibration(
+        backend=key,
+        launch_overhead_s=overhead,
+        per_query_s=per_query,
+        min_batch=lo,
+        max_batch=hi,
+        samples=8,
+        residual=0.0,
+    )
+
+
+class TestCalibrationProfile:
+    def test_predict_is_affine(self):
+        prof = _profile({"numpy": _entry("numpy", 1e-5, 1e-7)})
+        assert prof.predict("numpy", 10) == pytest.approx(1e-5 + 10 * 1e-7)
+
+    def test_predict_refuses_to_extrapolate(self):
+        prof = _profile({"numpy": _entry("numpy", 1e-5, 1e-7, lo=2, hi=64)})
+        with pytest.raises(DeviceError, match="calibrated range"):
+            prof.predict("numpy", 1)
+        with pytest.raises(DeviceError, match="calibrated range"):
+            prof.predict("numpy", 65)
+        with pytest.raises(DeviceError, match="no calibration"):
+            prof.predict("pool", 8)
+
+    def test_batch_range_intersects_windows(self):
+        prof = _profile(
+            {
+                "a": _entry("a", 1e-5, 1e-7, lo=1, hi=64),
+                "b": _entry("b", 1e-5, 1e-7, lo=4, hi=256),
+            }
+        )
+        assert prof.batch_range(["a", "b"]) == (4, 64)
+        with pytest.raises(DeviceError):
+            prof.batch_range(["a", "c"])
+
+    def test_json_round_trip(self, tmp_path):
+        prof = _profile(
+            {
+                "numpy": _entry("numpy", 7.5e-5, 8.6e-8),
+                "smallbatch": _entry("smallbatch", 9.5e-6, 2.6e-7),
+            },
+            meta={"n_nodes": 4096, "seed": 0},
+        )
+        path = tmp_path / "profile.json"
+        prof.save(path)
+        loaded = CalibrationProfile.load(path)
+        assert loaded == prof
+
+    def test_from_dict_rejects_bad_version(self):
+        payload = json.loads(_profile({}).to_json())
+        payload["version"] = 999
+        with pytest.raises(ServiceError, match="version"):
+            CalibrationProfile.from_dict(payload)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        payload = json.loads(
+            _profile({"numpy": _entry("numpy", 1e-5, 1e-7)}).to_json()
+        )
+        payload["backends"]["numpy"]["surprise"] = 1
+        with pytest.raises(ServiceError):
+            CalibrationProfile.from_dict(payload)
+
+
+class TestFitLaunchCost:
+    def test_recovers_exact_line(self):
+        sizes = [1, 2, 4, 8, 16, 32, 64]
+        times = [2e-5 + 3e-7 * s for s in sizes]
+        a, b, residual = fit_launch_cost(sizes, times)
+        assert a == pytest.approx(2e-5, rel=1e-6)
+        assert b == pytest.approx(3e-7, rel=1e-6)
+        assert residual == pytest.approx(0.0, abs=1e-12)
+
+    def test_robust_to_one_outlier(self):
+        sizes = [1, 2, 4, 8, 16, 32, 64, 128]
+        times = [2e-5 + 3e-7 * s for s in sizes]
+        times[3] *= 25.0  # a descheduled sample
+        a, b, _ = fit_launch_cost(sizes, times)
+        assert a == pytest.approx(2e-5, rel=0.05)
+        assert b == pytest.approx(3e-7, rel=0.05)
+
+    def test_clamps_to_physical_values(self):
+        # A decreasing series would fit a negative overhead; clamp to zero.
+        a, b, _ = fit_launch_cost([1, 2, 4], [3e-7, 5e-7, 9e-7])
+        assert a >= 0.0
+        assert b > 0.0
+
+    def test_rejects_degenerate_input(self):
+        with pytest.raises(ServiceError):
+            fit_launch_cost([1], [1e-6])
+        with pytest.raises(ServiceError):
+            fit_launch_cost([1, 2], [1e-6])  # length mismatch
+
+
+class TestCalibrateBackends:
+    def test_smoke_profile_covers_requested_backends(self):
+        prof = calibrate_backends(
+            ["smallbatch", "numpy"],
+            batch_sizes=(1, 4, 16, 64),
+            repeats=2,
+            warmup=1,
+            n_nodes=256,
+        )
+        assert set(prof.backends()) == {"smallbatch", "numpy"}
+        for key in ("smallbatch", "numpy"):
+            assert prof.predict(key, 16) > 0.0
+        assert prof.meta["n_nodes"] == 256
+
+    def test_deterministic_with_injected_timer(self):
+        ticks = iter(np.arange(0.0, 1e6).tolist())
+
+        def timer():
+            return next(ticks) * 1e-4
+
+        prof = calibrate_backends(
+            ["smallbatch"],
+            batch_sizes=(1, 4, 16),
+            repeats=1,
+            warmup=0,
+            n_nodes=128,
+            timer=timer,
+        )
+        cal = prof.entries["smallbatch"]
+        assert cal.min_batch == 1
+        assert cal.max_batch == 16
+
+    def test_rejects_unusable_grid(self):
+        with pytest.raises(ServiceError):
+            calibrate_backends(["smallbatch"], batch_sizes=(4,), n_nodes=64)
+
+
+@st.composite
+def profiles_with_batch(draw):
+    keys = draw(
+        st.lists(
+            st.sampled_from(["numpy", "numpy-seq", "smallbatch"]),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    entries = {}
+    for key in keys:
+        overhead = draw(st.floats(1e-7, 1e-3, allow_nan=False))
+        per_query = draw(st.floats(1e-9, 1e-5, allow_nan=False))
+        entries[key] = _entry(key, overhead, per_query, lo=1, hi=2048)
+    batch = draw(st.integers(1, 2048))
+    return _profile(entries), keys, batch
+
+
+class TestProfileDrivenDispatch:
+    @settings(max_examples=60, deadline=None)
+    @given(profiles_with_batch())
+    def test_choice_is_argmin_of_predicted_cost(self, case):
+        profile, keys, batch = case
+        dispatcher = dispatcher_for(keys, profile=profile)
+        backend, estimate = dispatcher.choose_with_estimate(batch)
+        predicted = {k: profile.predict(k, batch) for k in keys}
+        assert estimate == pytest.approx(min(predicted.values()))
+        assert predicted[backend.key] == min(predicted.values())
+
+    def test_estimate_uses_profile_over_model(self):
+        profile = _profile({"numpy": _entry("numpy", 1e-5, 1e-7)})
+        backend = make_backend("numpy")
+        measured = estimate_batch_query_time(backend, 10, profile=profile)
+        modeled = estimate_batch_query_time(backend, 10)
+        assert measured == pytest.approx(1e-5 + 10 * 1e-7)
+        assert measured != modeled
+
+    def test_estimate_out_of_range_is_typed_error(self):
+        profile = _profile({"numpy": _entry("numpy", 1e-5, 1e-7, lo=1, hi=64)})
+        backend = make_backend("numpy")
+        with pytest.raises(DeviceError):
+            estimate_batch_query_time(backend, 65, profile=profile)
+        # batch_size validation still wins over profile lookup
+        with pytest.raises(ServiceError):
+            estimate_batch_query_time(backend, 0, profile=profile)
+
+    def test_dispatcher_requires_profile_coverage(self):
+        profile = _profile({"numpy": _entry("numpy", 1e-5, 1e-7)})
+        with pytest.raises(DeviceError):
+            dispatcher_for(["numpy", "smallbatch"], profile=profile)
+
+    def test_crossover_derived_from_profile(self):
+        # smallbatch: cheap launch, costly per query; numpy: the reverse.
+        # Crossover = overhead gap / per-query gap = 99e-6 / 99e-8 = 100.
+        profile = _profile(
+            {
+                "smallbatch": _entry("smallbatch", 1e-6, 1e-6),
+                "numpy": _entry("numpy", 1e-4, 1e-8),
+            }
+        )
+        dispatcher = dispatcher_for(["smallbatch", "numpy"], profile=profile)
+        assert dispatcher.choose(10).key == "smallbatch"
+        assert dispatcher.choose(1000).key == "numpy"
+        crossover = dispatcher.crossover_batch_size()
+        assert crossover is not None
+        assert 95 <= crossover <= 105
+
+    def test_no_profile_dispatch_unchanged(self):
+        dispatcher = dispatcher_for(["cpu1", "gpu"])
+        baseline = CostModelDispatcher()
+        for batch in (1, 8, 64, 512):
+            assert dispatcher.choose(batch).key == baseline.choose(batch).key
+            b = baseline.choose(batch)
+            assert dispatcher.estimate(b, batch) == estimate_batch_query_time(
+                b, batch
+            )
+
+    def test_dispatcher_for_rejects_path_and_profile(self, tmp_path):
+        profile = _profile({"numpy": _entry("numpy", 1e-5, 1e-7)})
+        path = tmp_path / "p.json"
+        profile.save(path)
+        with pytest.raises(ServiceError):
+            dispatcher_for(["numpy"], str(path), profile=profile)
+
+
+class TestServiceIntegration:
+    def _profile_file(self, tmp_path):
+        profile = _profile(
+            {
+                "smallbatch": _entry("smallbatch", 1e-6, 1e-6),
+                "numpy": _entry("numpy", 1e-4, 1e-8),
+            }
+        )
+        path = tmp_path / "profile.json"
+        profile.save(path)
+        return str(path), profile
+
+    def test_config_builds_calibrated_service(self, tmp_path):
+        path, profile = self._profile_file(tmp_path)
+        config = ServiceConfig(
+            max_batch_size=256,
+            backends=("smallbatch", "numpy"),
+            calibration_path=path,
+        )
+        service = LCAQueryService(config=config)
+        assert service.dispatcher.profile == profile
+        parents = _tree(300, seed=21)
+        oracle = BinaryLiftingLCA(parents)
+        service.register_tree("t", parents)
+        xs, ys = _queries(300, 777, seed=23)
+        tickets = service.submit_many("t", xs, ys)
+        service.drain()
+        assert np.array_equal(service.results(tickets), oracle.query(xs, ys))
+
+    def test_estimate_equals_charge_under_profile(self, tmp_path):
+        # The serving invariant survives measured profiles: the time a
+        # batch is booked for equals the dispatcher's estimate for it.
+        from repro.obs import TraceRecorder
+        from repro.obs.report import batch_spans
+
+        path, _ = self._profile_file(tmp_path)
+        config = ServiceConfig(
+            max_batch_size=64,
+            backends=("smallbatch", "numpy"),
+            calibration_path=path,
+        )
+        recorder = TraceRecorder()
+        service = LCAQueryService(config=config, observer=recorder)
+        parents = _tree(100, seed=2)
+        service.register_tree("t", parents)
+        for seed in (3, 4):  # second round serves on a warm index cache
+            xs, ys = _queries(100, 40, seed=seed)
+            service.submit_many("t", xs, ys)
+            service.drain()
+        spans = batch_spans(recorder.table())
+        assert len(spans) >= 2
+        for span in spans[1:]:  # first span may include the index build
+            chosen = service.dispatcher.choose(span.size)
+            estimate = service.dispatcher.estimate(chosen, span.size)
+            assert span.service_s == pytest.approx(estimate)
+            assert span.predicted_s == pytest.approx(estimate)
+        assert service.stats().queries_answered == 80
+
+    def test_config_round_trip_preserves_backends(self, tmp_path):
+        path, _ = self._profile_file(tmp_path)
+        config = ServiceConfig(
+            backends=("smallbatch", "numpy"), calibration_path=path
+        )
+        restored = ServiceConfig.from_json(config.to_json())
+        assert restored.backends == ("smallbatch", "numpy")
+        assert restored.calibration_path == path
+
+    def test_backends_config_without_profile_uses_model(self):
+        config = ServiceConfig(backends=("cpu1", "gpu"))
+        service = LCAQueryService(config=config)
+        assert service.dispatcher.profile is None
+        assert tuple(b.key for b in service.dispatcher.backends) == (
+            "cpu1",
+            "gpu",
+        )
+
+    def test_empty_backends_tuple_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(backends=())
+
+    def test_duplicate_backends_rejected(self):
+        with pytest.raises(ServiceError):
+            ServiceConfig(backends=("numpy", "numpy"))
